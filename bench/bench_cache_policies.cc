@@ -1,0 +1,62 @@
+// Ablation for section 4.2/4.3: cache policy comparison on the generated
+// access streams. The paper argues (a) the Zipf skew means any cache that
+// captures hot files wins, (b) a size-threshold admission policy decouples
+// cache capacity from data growth, and (c) 6-hour temporal locality makes
+// LRU-like eviction sensible. We compare LRU / FIFO / LFU / size-threshold
+// LRU / unbounded across cache capacities.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "storage/access_stream.h"
+#include "storage/cache.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Cache policy ablation (sec. 4 claims)");
+  for (const auto& name : {"CC-c", "CC-d", "CC-e", "FB-2010"}) {
+    trace::Trace t = bench::BenchTrace(name, /*job_cap=*/40000);
+    auto accesses = storage::ExtractAccesses(t);
+    double total_read_bytes = 0.0;
+    for (const auto& a : accesses) {
+      if (a.kind == storage::AccessKind::kRead) total_read_bytes += a.bytes;
+    }
+    storage::UnboundedCache unbounded;
+    storage::ReplayAccesses(accesses, unbounded);
+    std::printf("%s: %zu accesses, %s read; intrinsic hit rate %.0f%%\n",
+                name, accesses.size(), FormatBytes(total_read_bytes).c_str(),
+                100 * unbounded.stats().HitRate());
+    std::printf("  %-26s %10s %10s %10s %12s\n", "policy", "capacity",
+                "hit rate", "byte hits", "evictions");
+    for (double capacity : {1 * kTB, 10 * kTB, 100 * kTB}) {
+      std::vector<std::unique_ptr<storage::FileCache>> caches;
+      caches.push_back(std::make_unique<storage::LruCache>(capacity));
+      caches.push_back(std::make_unique<storage::FifoCache>(capacity));
+      caches.push_back(std::make_unique<storage::LfuCache>(capacity));
+      caches.push_back(std::make_unique<storage::SizeThresholdLruCache>(
+          capacity, /*max_file_bytes=*/10 * kGB));
+      for (auto& cache : caches) {
+        storage::ReplayAccesses(accesses, *cache);
+        std::printf("  %-26s %10s %9.0f%% %9.0f%% %12llu\n",
+                    cache->name().c_str(), FormatBytes(capacity).c_str(),
+                    100 * cache->stats().HitRate(),
+                    100 * cache->stats().ByteHitRate(),
+                    static_cast<unsigned long long>(
+                        cache->stats().evictions));
+      }
+    }
+  }
+
+  bench::Banner("Takeaways vs paper");
+  std::printf(
+      "- LRU-family policies approach the intrinsic (unbounded) hit rate\n"
+      "  with a small fraction of stored bytes: Zipf + temporal locality\n"
+      "  make caching effective (sec. 4.2).\n"
+      "- SizeThresholdLRU keeps most of LRU's hit rate at low capacity\n"
+      "  while never admitting capacity-busting files - the paper's\n"
+      "  proposed policy for decoupling cache growth from data growth.\n"
+      "- FIFO trails LRU: eviction should respect recency (sec. 4.3).\n");
+  return 0;
+}

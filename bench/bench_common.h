@@ -1,0 +1,54 @@
+#ifndef SWIM_BENCH_BENCH_COMMON_H_
+#define SWIM_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "trace/trace.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+namespace swim::bench {
+
+/// Every figure/table bench uses the same seed so outputs are reproducible
+/// run to run.
+inline constexpr uint64_t kBenchSeed = 2012;  // the paper's year
+
+/// Facebook traces hold > 1M jobs; benches generate them scaled down to
+/// this cap (per-job statistics are unchanged; count-based statistics are
+/// reported per scaled trace).
+inline constexpr size_t kJobCap = 100000;
+
+/// Generates the named paper workload at bench scale.
+inline trace::Trace BenchTrace(const std::string& name,
+                               size_t job_cap = kJobCap) {
+  auto spec = workloads::PaperWorkloadByName(name);
+  SWIM_CHECK_OK(spec.status());
+  workloads::GeneratorOptions options;
+  options.seed = kBenchSeed;
+  if (spec->total_jobs > job_cap) {
+    options.job_count_override = job_cap;
+  }
+  auto trace = workloads::GenerateTrace(*spec, options);
+  SWIM_CHECK_OK(trace.status());
+  return *std::move(trace);
+}
+
+/// Section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// "paper=X measured=Y" comparison row.
+inline void PaperVsMeasured(const std::string& what, const std::string& paper,
+                            const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace swim::bench
+
+#endif  // SWIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Cross-workload diversity - the paper's central caution (sections 4-6
+// and the summary): every dimension of workload behavior varies widely
+// across the seven deployments, so no single workload is "typical"; the
+// one stable feature is the Zipf file-popularity slope. A TPC-style big
+// data benchmark therefore needs a *suite* of workloads (section 7).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/analysis/diversity.h"
+#include "core/analysis/workload_report.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Cross-workload diversity (the 'no typical workload' claim)");
+  std::vector<core::WorkloadReport> reports;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace t = bench::BenchTrace(name, /*job_cap=*/40000);
+    auto report = core::AnalyzeWorkload(t);
+    SWIM_CHECK_OK(report.status());
+    reports.push_back(*std::move(report));
+  }
+  auto comparison = core::CompareWorkloads(reports);
+  SWIM_CHECK_OK(comparison.status());
+  std::printf("%s", core::FormatDiversity(*comparison).c_str());
+
+  bench::Banner("Paper comparison");
+  // The paper's stability control: Zipf slope is ~the same everywhere,
+  // while per-job medians span orders of magnitude.
+  double zipf_cv = 0.0, input_cv = 0.0;
+  for (const auto& metric : comparison->metrics) {
+    if (metric.name == "Zipf popularity slope") zipf_cv = metric.cv;
+    if (metric.name == "median input bytes") input_cv = metric.cv;
+  }
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "CV %.2f vs CV %.2f", zipf_cv,
+                input_cv);
+  bench::PaperVsMeasured(
+      "Zipf slope stable while data sizes vary wildly",
+      "only stable feature", buffer);
+  std::printf(
+      "\nReading the table: metrics are ranked by coefficient of\n"
+      "variation; per-job medians and burstiness span orders of\n"
+      "magnitude across deployments while the Zipf slope and small-job\n"
+      "dominance sit at the bottom - exactly the paper's summary list.\n");
+  return 0;
+}

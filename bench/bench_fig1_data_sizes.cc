@@ -1,0 +1,71 @@
+// Reproduces Figure 1: per-job input / shuffle / output size distributions
+// for each workload. Prints each CDF at fixed percentiles plus the paper's
+// headline checks (median spreads across workloads; most jobs MB-GB).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "core/analysis/data_access.h"
+
+namespace {
+
+void PrintCdf(const char* label, const swim::stats::EmpiricalCdf& cdf) {
+  std::printf("  %-8s", label);
+  for (double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    std::printf(" p%02.0f=%-10s", p * 100,
+                swim::FormatBytes(cdf.Quantile(p)).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace swim;
+  bench::Banner("Figure 1: Per-job data sizes (input / shuffle / output)");
+
+  double min_median_input = 1e30, max_median_input = 0;
+  double min_median_shuffle = 1e30, max_median_shuffle = 0;
+  double min_median_output = 1e30, max_median_output = 0;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace t = bench::BenchTrace(name);
+    core::DataSizeCdfs cdfs = core::ComputeDataSizeCdfs(t);
+    std::printf("%s:\n", name.c_str());
+    PrintCdf("input", cdfs.input);
+    PrintCdf("shuffle", cdfs.shuffle);
+    PrintCdf("output", cdfs.output);
+    auto track = [](double value, double& lo, double& hi) {
+      if (value <= 0) return;
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    };
+    track(cdfs.input.median(), min_median_input, max_median_input);
+    track(cdfs.shuffle.median(), min_median_shuffle, max_median_shuffle);
+    track(cdfs.output.median(), min_median_output, max_median_output);
+  }
+
+  bench::Banner("Paper comparison");
+  auto orders = [](double lo, double hi) {
+    return lo > 0 ? std::log10(hi / lo) : 0.0;
+  };
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f orders (%s..%s)",
+                orders(min_median_input, max_median_input),
+                FormatBytes(min_median_input).c_str(),
+                FormatBytes(max_median_input).c_str());
+  bench::PaperVsMeasured("median input spread across workloads", "6 orders",
+                         buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.1f orders",
+                orders(min_median_shuffle, max_median_shuffle));
+  bench::PaperVsMeasured("median shuffle spread (non-zero medians)",
+                         "8 orders", buffer);
+  std::snprintf(buffer, sizeof(buffer), "%.1f orders (%s..%s)",
+                orders(min_median_output, max_median_output),
+                FormatBytes(min_median_output).c_str(),
+                FormatBytes(max_median_output).c_str());
+  bench::PaperVsMeasured("median output spread across workloads", "4 orders",
+                         buffer);
+  return 0;
+}

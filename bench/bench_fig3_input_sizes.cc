@@ -1,0 +1,66 @@
+// Reproduces Figure 3: cumulative fraction of jobs vs input file size
+// (top) and cumulative fraction of stored bytes vs input file size
+// (bottom), plus the section 4.2 "80-X rule".
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "core/analysis/data_access.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Figure 3: Access patterns vs input file size");
+  double worst_bytes_at_jobs90 = 0.0;
+  double min_rule = 100.0, max_rule = 0.0;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace t = bench::BenchTrace(name);
+    core::SizeSkewCurve curve =
+        core::ComputeSizeSkew(t, /*use_output=*/false);
+    if (curve.points.empty()) {
+      std::printf("%s: (no input paths)\n", name.c_str());
+      continue;
+    }
+    std::printf("%s: %zu jobs with paths, %s stored\n", name.c_str(),
+                curve.jobs_with_paths,
+                FormatBytes(curve.total_stored_bytes).c_str());
+    std::printf("  %14s %14s %14s\n", "file size <=", "frac jobs",
+                "frac bytes");
+    for (const auto& p : curve.points) {
+      // Print a sparse subset of the curve (every 8th point).
+      static int row = 0;
+      if (row++ % 8 != 0) continue;
+      std::printf("  %14s %13.0f%% %13.1f%%\n",
+                  FormatBytes(p.file_bytes).c_str(),
+                  100 * p.fraction_of_jobs, 100 * p.fraction_of_stored_bytes);
+    }
+    // Where do 90% of jobs sit, and how many stored bytes is that?
+    for (const auto& p : curve.points) {
+      if (p.fraction_of_jobs >= 0.9) {
+        std::printf("  -> 90%% of jobs access files <= %s, holding %.1f%% "
+                    "of stored bytes\n",
+                    FormatBytes(p.file_bytes).c_str(),
+                    100 * p.fraction_of_stored_bytes);
+        worst_bytes_at_jobs90 =
+            std::max(worst_bytes_at_jobs90, p.fraction_of_stored_bytes);
+        break;
+      }
+    }
+    double rule =
+        100 * core::StoredBytesFractionForJobCoverage(t, 0.8, false);
+    std::printf("  -> 80-X rule: 80%% of accesses -> %.1f%% of stored bytes "
+                "(an 80-%.0f rule)\n",
+                rule, rule);
+    min_rule = std::min(min_rule, rule);
+    max_rule = std::max(max_rule, rule);
+  }
+
+  bench::Banner("Paper comparison");
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", 100 * worst_bytes_at_jobs90);
+  bench::PaperVsMeasured("bytes held by files serving 90% of jobs",
+                         "<= 16%", buffer);
+  std::snprintf(buffer, sizeof(buffer), "80-%.0f to 80-%.0f", min_rule,
+                max_rule);
+  bench::PaperVsMeasured("80-X rule range (inputs)", "80-1 to 80-8", buffer);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 4: cumulative fraction of jobs vs OUTPUT file size and
+// cumulative fraction of stored bytes vs output file size. Output paths
+// exist only for the CC-b..CC-e traces (matching the paper's footnote).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "core/analysis/data_access.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Figure 4: Access patterns vs output file size");
+  double min_rule = 100.0, max_rule = 0.0;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace t = bench::BenchTrace(name);
+    core::SizeSkewCurve curve = core::ComputeSizeSkew(t, /*use_output=*/true);
+    if (curve.points.empty()) {
+      std::printf("%s: (no output paths)\n", name.c_str());
+      continue;
+    }
+    std::printf("%s: %zu jobs with output paths, %s stored\n", name.c_str(),
+                curve.jobs_with_paths,
+                FormatBytes(curve.total_stored_bytes).c_str());
+    for (const auto& p : curve.points) {
+      static int row = 0;
+      if (row++ % 10 != 0) continue;
+      std::printf("  <=%12s: %5.0f%% of jobs, %5.1f%% of bytes\n",
+                  FormatBytes(p.file_bytes).c_str(),
+                  100 * p.fraction_of_jobs, 100 * p.fraction_of_stored_bytes);
+    }
+    double rule = 100 * core::StoredBytesFractionForJobCoverage(t, 0.8, true);
+    std::printf("  -> 80-X rule (outputs): 80-%.0f\n", rule);
+    min_rule = std::min(min_rule, rule);
+    max_rule = std::max(max_rule, rule);
+  }
+
+  bench::Banner("Paper comparison");
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "80-%.0f to 80-%.0f", min_rule,
+                max_rule);
+  bench::PaperVsMeasured("80-X rule range (outputs)",
+                         "80% of accesses -> <10% of bytes", buffer);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 5: distribution of data re-access intervals - time
+// between consecutive reads of the same input (top) and between an output
+// being written and re-read as input (bottom). Paper: 75% of re-accesses
+// fall within ~6 hours.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "core/analysis/data_access.h"
+
+namespace {
+
+void PrintIntervalCdf(const char* label,
+                      const swim::stats::EmpiricalCdf& cdf) {
+  if (cdf.empty()) {
+    std::printf("  %-14s (none)\n", label);
+    return;
+  }
+  std::printf("  %-14s n=%-8zu", label, cdf.size());
+  for (double p : {0.25, 0.50, 0.75, 0.90}) {
+    std::printf(" p%02.0f=%-9s", p * 100,
+                swim::FormatDuration(cdf.Quantile(p)).c_str());
+  }
+  std::printf(" within6h=%.0f%%\n", 100 * cdf.Fraction(6 * swim::kHour));
+}
+
+}  // namespace
+
+int main() {
+  using namespace swim;
+  bench::Banner("Figure 5: Data re-access intervals");
+  double within_6h_sum = 0.0;
+  int workload_count = 0;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace t = bench::BenchTrace(name);
+    core::ReaccessIntervals intervals = core::ComputeReaccessIntervals(t);
+    std::printf("%s:\n", name.c_str());
+    if (intervals.input_input.empty() && intervals.output_input.empty()) {
+      std::printf("  (no file paths in this trace)\n");
+      continue;
+    }
+    PrintIntervalCdf("input-input", intervals.input_input);
+    PrintIntervalCdf("output-input", intervals.output_input);
+    if (!intervals.input_input.empty()) {
+      within_6h_sum += intervals.input_input.Fraction(6 * kHour);
+      ++workload_count;
+    }
+  }
+
+  bench::Banner("Paper comparison");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.0f%% (mean over %d workloads)",
+                100 * within_6h_sum / workload_count, workload_count);
+  bench::PaperVsMeasured("re-accesses within 6 hours", "~75%", buffer);
+  return 0;
+}

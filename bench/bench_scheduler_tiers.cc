@@ -1,0 +1,78 @@
+// Ablation for section 6.2: the small-big job dichotomy implies splitting
+// the cluster into a performance tier (interactive small jobs) and a
+// capacity tier (batch). We replay a generated FB-2009-shaped workload
+// under FIFO, fair, and two-tier scheduling and compare small-job latency
+// ("interactive latency ... durations of less than a minute") against
+// large-job completion.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "sim/replay.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Scheduler ablation: protecting interactive jobs (sec. 6.2)");
+  for (const auto& name : {"FB-2009", "CC-c"}) {
+    trace::Trace t = bench::BenchTrace(name, /*job_cap=*/20000);
+    auto spec = workloads::PaperWorkloadByName(name);
+    // Shrink the cluster by the same factor the job count was scaled, so
+    // load intensity matches the production deployment.
+    int nodes = std::max<int>(
+        10, static_cast<int>(static_cast<double>(spec->metadata.machines) *
+                             static_cast<double>(t.size()) /
+                             static_cast<double>(spec->total_jobs)));
+    std::printf("%s (%zu jobs, cluster scaled to %d nodes):\n", name,
+                t.size(), nodes);
+    std::printf("  %-9s %14s %14s %14s %16s %12s\n", "policy",
+                "small p50", "small p90", "small p99", "large p50",
+                "utilization");
+    for (const char* policy : {"fifo", "fair", "two-tier"}) {
+      sim::ReplayOptions options;
+      options.cluster.nodes = nodes;
+      options.scheduler = policy;
+      auto result = sim::ReplayTrace(t, options);
+      SWIM_CHECK_OK(result.status());
+      std::printf("  %-9s %14s %14s %14s %16s %11.0f%%\n", policy,
+                  FormatDuration(result->LatencyQuantile(true, 0.5)).c_str(),
+                  FormatDuration(result->LatencyQuantile(true, 0.9)).c_str(),
+                  FormatDuration(result->LatencyQuantile(true, 0.99)).c_str(),
+                  FormatDuration(result->LatencyQuantile(false, 0.5)).c_str(),
+                  100 * result->utilization);
+    }
+  }
+
+  bench::Banner("Straggler sensitivity (sec. 6.2)");
+  trace::Trace t = bench::BenchTrace("FB-2010", 15000);
+  std::printf("  %-24s %14s %14s %16s\n", "straggler config", "small p50",
+              "small p99", "p99+speculation");
+  for (double p : {0.0, 0.05, 0.2}) {
+    sim::ReplayOptions options;
+    options.cluster.nodes = 60;  // 3000 nodes scaled by the 15k/1.17M cap
+    options.scheduler = "fair";
+    options.straggler_probability = p;
+    options.straggler_factor = 8.0;
+    auto result = sim::ReplayTrace(t, options);
+    SWIM_CHECK_OK(result.status());
+    options.speculative_execution = true;
+    auto speculative = sim::ReplayTrace(t, options);
+    SWIM_CHECK_OK(speculative.status());
+    char label[32];
+    std::snprintf(label, sizeof(label), "p=%.2f factor=8x", p);
+    std::printf("  %-24s %14s %14s %16s\n", label,
+                FormatDuration(result->LatencyQuantile(true, 0.5)).c_str(),
+                FormatDuration(result->LatencyQuantile(true, 0.99)).c_str(),
+                FormatDuration(
+                    speculative->LatencyQuantile(true, 0.99)).c_str());
+  }
+  std::printf(
+      "\nTakeaways vs paper: FIFO lets occasional huge jobs head-of-line\n"
+      "block the >90%% small-job mass; fair sharing and the two-tier split\n"
+      "restore interactive latency without starving the capacity tier.\n"
+      "Stragglers hit small single-wave jobs directly (no other tasks to\n"
+      "hide behind), inflating tail latency. Speculative execution only\n"
+      "partially recovers the tail: single-task jobs have no sibling to\n"
+      "compare against - the paper's re-assessment of straggler\n"
+      "mitigation for small jobs.\n");
+  return 0;
+}

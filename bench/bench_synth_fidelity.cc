@@ -1,0 +1,74 @@
+// SWIM synthesis fidelity (section 7): fit a model to each generated
+// workload, synthesize a replica, and measure per-dimension KS distance
+// plus the temporal couplings. Includes the "empirical models" ablation:
+// the paper argues closed-form distributions cannot represent these
+// workloads, so we also synthesize with independent per-dimension
+// lognormal fits and show the fidelity gap. Finally demonstrates
+// scale-down (sec. 7 "scaled-down workloads").
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "core/synth/fidelity.h"
+#include "core/synth/scale_down.h"
+#include "core/synth/synthesizer.h"
+#include "core/synth/workload_model.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("SWIM synthesis fidelity (empirical vs parametric models)");
+  std::printf("%-9s %16s %16s %22s\n", "Trace", "KS(empirical)",
+              "KS(lognormal)", "bytes-compute corr s/e/p");
+  double worst_empirical = 0, best_parametric = 1;
+  for (const auto& name : workloads::PaperWorkloadNames()) {
+    trace::Trace source = bench::BenchTrace(name, /*job_cap=*/30000);
+    auto model = core::BuildModel(source);
+    SWIM_CHECK_OK(model.status());
+
+    core::SynthesisOptions empirical;
+    empirical.job_count = source.size();
+    core::SynthesisOptions parametric = empirical;
+    parametric.method = core::SynthesisMethod::kParametricLognormal;
+
+    auto synth_e = core::SynthesizeTrace(*model, empirical);
+    auto synth_p = core::SynthesizeTrace(*model, parametric);
+    SWIM_CHECK_OK(synth_e.status());
+    SWIM_CHECK_OK(synth_p.status());
+    core::FidelityReport fid_e = core::CompareTraces(source, *synth_e);
+    core::FidelityReport fid_p = core::CompareTraces(source, *synth_p);
+    std::printf("%-9s %16.3f %16.3f      %.2f / %.2f / %.2f\n", name.c_str(),
+                fid_e.max_ks, fid_p.max_ks, fid_e.source_bytes_compute_corr,
+                fid_e.synth_bytes_compute_corr,
+                fid_p.synth_bytes_compute_corr);
+    worst_empirical = std::max(worst_empirical, fid_e.max_ks);
+    best_parametric = std::min(best_parametric, fid_p.max_ks);
+  }
+
+  bench::Banner("Scale-down fidelity (sec. 7)");
+  trace::Trace source = bench::BenchTrace("CC-b");
+  std::printf("  %-32s %10s\n", "operator", "max KS vs source");
+  for (double fraction : {0.5, 0.1, 0.01}) {
+    core::ScaleDownOptions options;
+    options.job_fraction = fraction;
+    auto scaled = core::ScaleDownTrace(source, options);
+    SWIM_CHECK_OK(scaled.status());
+    char label[48];
+    std::snprintf(label, sizeof(label), "job sample %.0f%%", 100 * fraction);
+    std::printf("  %-32s %10.3f\n", label,
+                core::CompareTraces(source, *scaled).max_ks);
+  }
+
+  bench::Banner("Paper comparison");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f vs %.3f", worst_empirical,
+                best_parametric);
+  bench::PaperVsMeasured(
+      "worst empirical KS vs best parametric KS",
+      "empirical must win", buffer);
+  std::printf(
+      "\nTakeaway: resampling whole exemplar jobs (SWIM's empirical model)\n"
+      "keeps every marginal within a few percent KS; independent lognormal\n"
+      "fits lose the mixture structure (map-only zeros, small-big\n"
+      "bimodality) exactly as section 7 argues.\n");
+  return 0;
+}

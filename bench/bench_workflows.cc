@@ -1,0 +1,121 @@
+// Workflow-level analysis and replay - the capability the paper calls for
+// beyond per-job tracing (sec. 6.1: "for workflow management frameworks
+// such as Oozie, it will be beneficial to have UUIDs to identify jobs
+// belonging to the same workflow"; sec. 8: better Hive/Pig-level tracing).
+//
+// Generates a trace of compiled Hive/Pig workflows with W=<id> tags and
+// stage dependencies, reconstructs the workflows from the trace, and
+// replays them dependency-aware under different schedulers to show how
+// per-job scheduling decisions compound across multi-stage queries.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "frameworks/workflow.h"
+#include "sim/replay.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace swim;
+  bench::Banner("Workflow generation and reconstruction");
+  frameworks::WorkflowGeneratorOptions options;
+  options.workflows = 400;
+  options.span_seconds = 2 * kDay;
+  options.seed = bench::kBenchSeed;
+  auto wt = frameworks::GenerateWorkflowTrace(options);
+  SWIM_CHECK_OK(wt.status());
+
+  frameworks::WorkflowReport report =
+      frameworks::ReconstructWorkflows(wt->trace);
+  std::printf("jobs: %zu across %zu workflows (all tagged: %s)\n",
+              wt->trace.size(), report.workflows.size(),
+              report.untagged_jobs == 0 ? "yes" : "no");
+  std::printf("stages per workflow: mean=%.2f max=%.0f; multi-stage "
+              "workflows: %.0f%%\n",
+              report.mean_stages, report.max_stages,
+              100 * report.multi_stage_fraction);
+
+  // Framework mix across workflows.
+  size_t by_framework[trace::kFrameworkCount] = {};
+  std::vector<double> spans;
+  std::vector<double> data_reduction;
+  for (const auto& summary : report.workflows) {
+    ++by_framework[static_cast<int>(summary.framework)];
+    spans.push_back(summary.span_seconds);
+    if (summary.input_bytes > 0) {
+      data_reduction.push_back(summary.output_bytes / summary.input_bytes);
+    }
+  }
+  std::printf("workflow frameworks: Hive=%zu Pig=%zu Oozie=%zu Native=%zu\n",
+              by_framework[0], by_framework[1], by_framework[2],
+              by_framework[3]);
+  std::printf("workflow spans: median=%s p90=%s\n",
+              FormatDuration(stats::Quantile(spans, 0.5)).c_str(),
+              FormatDuration(stats::Quantile(spans, 0.9)).c_str());
+  std::printf("end-to-end data reduction (out/in): median=%.3g\n",
+              stats::Median(data_reduction));
+
+  bench::Banner("Dependency-aware replay: scheduling compounds per stage");
+  // Interactive workflows compete with batch background load (a CC-b-shaped
+  // stream compressed into the same two days) on a small cluster.
+  auto background_spec = workloads::PaperWorkloadByName("CC-b");
+  workloads::GeneratorOptions bg_options;
+  bg_options.seed = bench::kBenchSeed + 1;
+  bg_options.job_count_override = 4000;
+  bg_options.span_override_seconds = options.span_seconds;
+  auto background = workloads::GenerateTrace(*background_spec, bg_options);
+  SWIM_CHECK_OK(background.status());
+  trace::Trace combined = wt->trace;
+  for (auto job : background->jobs()) {
+    job.job_id += 1000000;  // keep ids disjoint from workflow jobs
+    job.name.clear();       // background jobs carry no workflow tags
+    combined.AddJob(std::move(job));
+  }
+  std::printf("(+%zu background batch jobs on 40 nodes)\n",
+              background->size());
+  std::printf("  %-9s %18s %18s %14s\n", "policy", "wf latency p50",
+              "wf latency p90", "unfinished");
+  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+    sim::ReplayOptions replay_options;
+    replay_options.cluster.nodes = 40;
+    replay_options.scheduler = policy;
+    replay_options.dependencies = wt->dependencies;
+    auto result = sim::ReplayTrace(combined, replay_options);
+    SWIM_CHECK_OK(result.status());
+    // Per-workflow end-to-end latency: last finish - first submit.
+    std::unordered_map<uint64_t, double> first_submit, last_finish;
+    std::unordered_map<uint64_t, double> submit_of;
+    for (const auto& job : wt->trace.jobs()) {
+      submit_of[job.job_id] = job.submit_time;
+    }
+    for (const auto& outcome : result->outcomes) {
+      auto wf_it = wt->workflow_of.find(outcome.job_id);
+      if (wf_it == wt->workflow_of.end()) continue;  // background job
+      uint64_t w = wf_it->second;
+      double submit = submit_of[outcome.job_id];
+      double finish = submit + outcome.latency;
+      auto [s_it, s_new] = first_submit.emplace(w, submit);
+      if (!s_new) s_it->second = std::min(s_it->second, submit);
+      auto [f_it, f_new] = last_finish.emplace(w, finish);
+      if (!f_new) f_it->second = std::max(f_it->second, finish);
+    }
+    std::vector<double> latencies;
+    for (const auto& [w, start] : first_submit) {
+      latencies.push_back(last_finish[w] - start);
+    }
+    std::printf("  %-9s %18s %18s %14zu\n", policy,
+                FormatDuration(stats::Quantile(latencies, 0.5)).c_str(),
+                FormatDuration(stats::Quantile(latencies, 0.9)).c_str(),
+                result->unfinished_jobs);
+  }
+
+  std::printf(
+      "\nTakeaway: a multi-stage query pays scheduler queueing once per\n"
+      "stage, so head-of-line blocking compounds: FIFO's workflow p90 is\n"
+      "an order of magnitude above fair share. Note two-tier does NOT fix\n"
+      "it - its quota protects small jobs, while TB-scale workflow stages\n"
+      "sit in the capacity tier behind background batch (FIFO within\n"
+      "tier). Workflow-aware scheduling is the multi-operator planning\n"
+      "translation the paper's section 8 calls for.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Storage tiering study: should this cluster add a cache tier, and with
+// what policy? Implements the decision procedure suggested by the paper's
+// section 4: measure the intrinsic re-access rate (upper bound), then
+// sweep policies and capacities and find the smallest cache that captures
+// most of it. The paper's proposal - admit only files under a size
+// threshold, evict LRU - is compared against plain LRU/LFU/FIFO.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "storage/access_stream.h"
+#include "storage/cache.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+int main() {
+  using namespace swim;
+
+  auto spec = workloads::PaperWorkloadByName("CC-d");
+  workloads::GeneratorOptions options;
+  options.job_count_override = 13283;  // full CC-d
+  auto trace = workloads::GenerateTrace(*spec, options);
+  SWIM_CHECK_OK(trace.status());
+  auto accesses = storage::ExtractAccesses(*trace);
+
+  storage::UnboundedCache unbounded;
+  storage::ReplayAccesses(accesses, unbounded);
+  double intrinsic = unbounded.stats().HitRate();
+  double all_bytes = unbounded.used_bytes();
+  std::printf("CC-d access stream: %zu accesses over %zu jobs\n",
+              accesses.size(), trace->size());
+  std::printf("Intrinsic re-access rate (infinite cache): %.0f%% of reads, "
+              "touching %s of distinct data\n\n",
+              100 * intrinsic, FormatBytes(all_bytes).c_str());
+
+  std::printf("%-30s %10s %9s %10s\n", "policy", "capacity", "hit rate",
+              "of optimal");
+  for (double capacity : {100 * kGB, 1 * kTB, 10 * kTB, 50 * kTB}) {
+    std::vector<std::unique_ptr<storage::FileCache>> caches;
+    caches.push_back(std::make_unique<storage::LruCache>(capacity));
+    caches.push_back(std::make_unique<storage::LfuCache>(capacity));
+    caches.push_back(std::make_unique<storage::FifoCache>(capacity));
+    caches.push_back(std::make_unique<storage::SizeThresholdLruCache>(
+        capacity, /*max_file_bytes=*/capacity / 20));
+    for (auto& cache : caches) {
+      storage::ReplayAccesses(accesses, *cache);
+      double rate = cache->stats().HitRate();
+      std::printf("%-30s %10s %8.1f%% %9.0f%%\n", cache->name().c_str(),
+                  FormatBytes(capacity).c_str(), 100 * rate,
+                  intrinsic > 0 ? 100 * rate / intrinsic : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the table: a cache holding a small fraction of the %s\n"
+      "working set already captures most of the achievable hits, because\n"
+      "access frequency is Zipf-distributed and 75%% of re-accesses arrive\n"
+      "within hours (paper sec. 4.2-4.3). The size-threshold variant is\n"
+      "the paper's sustainable policy: its capacity need not grow with\n"
+      "total data volume.\n",
+      FormatBytes(all_bytes).c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// SWIM in one sitting: fit an empirical model to a production-shaped
+// trace, persist it, synthesize a scaled-down replica, verify statistical
+// fidelity, and replay both on a simulated Hadoop cluster to compare what
+// a scheduler would experience.
+//
+// This is the paper's section 7 pipeline: the model IS the trace
+// ("empirical models"), and scale-down lets a 30-node test cluster stand
+// in for a 600-node production one.
+#include <cstdio>
+
+#include "common/units.h"
+#include "core/synth/fidelity.h"
+#include "core/synth/synthesizer.h"
+#include "core/synth/workload_model.h"
+#include "sim/replay.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+int main() {
+  using namespace swim;
+
+  // 1. A production-shaped source trace (CC-c: telecom/media-scale).
+  auto spec = workloads::PaperWorkloadByName("CC-c");
+  workloads::GeneratorOptions gen_options;
+  gen_options.job_count_override = 15000;
+  auto source = workloads::GenerateTrace(*spec, gen_options);
+  SWIM_CHECK_OK(source.status());
+  std::printf("Source: %zu jobs over %s\n", source->size(),
+              FormatDuration(source->Span()).c_str());
+
+  // 2. Fit and persist the empirical workload model.
+  auto model = core::BuildModel(*source);
+  SWIM_CHECK_OK(model.status());
+  const std::string model_path = "/tmp/swim_ccc.model";
+  SWIM_CHECK_OK(core::SaveModel(*model, model_path));
+  auto reloaded = core::LoadModel(model_path);
+  SWIM_CHECK_OK(reloaded.status());
+  std::printf("Model: %zu exemplars, Zipf slope %.2f, saved to %s\n",
+              reloaded->exemplars.size(), reloaded->file_model.zipf_slope,
+              model_path.c_str());
+
+  // 3. Synthesize a 5x scaled-down workload (fewer jobs, same span).
+  core::SynthesisOptions synth_options;
+  synth_options.job_count = source->size() / 5;
+  auto synth = core::SynthesizeTrace(*reloaded, synth_options);
+  SWIM_CHECK_OK(synth.status());
+
+  // 4. Fidelity: per-dimension KS distance against the source.
+  core::FidelityReport fidelity = core::CompareTraces(*source, *synth);
+  std::printf("\nFidelity of the synthetic workload:\n%s\n",
+              core::FormatFidelity(fidelity).c_str());
+
+  // 5. Replay: source on the production-sized cluster, replica on a
+  // 5x smaller one.
+  sim::ReplayOptions production;
+  production.cluster.nodes = 700;
+  production.scheduler = "fair";
+  sim::ReplayOptions test_rig = production;
+  test_rig.cluster.nodes = 140;
+
+  auto source_replay = sim::ReplayTrace(*source, production);
+  auto synth_replay = sim::ReplayTrace(*synth, test_rig);
+  SWIM_CHECK_OK(source_replay.status());
+  SWIM_CHECK_OK(synth_replay.status());
+  std::printf("Replay comparison (what the scheduler experiences):\n");
+  std::printf("  %-28s %14s %14s\n", "", "production/src", "test-rig/synth");
+  std::printf("  %-28s %14s %14s\n", "small-job p50 latency",
+              FormatDuration(source_replay->LatencyQuantile(true, 0.5)).c_str(),
+              FormatDuration(synth_replay->LatencyQuantile(true, 0.5)).c_str());
+  std::printf("  %-28s %14s %14s\n", "small-job p90 latency",
+              FormatDuration(source_replay->LatencyQuantile(true, 0.9)).c_str(),
+              FormatDuration(synth_replay->LatencyQuantile(true, 0.9)).c_str());
+  std::printf("  %-28s %13.0f%% %13.0f%%\n", "cluster utilization",
+              100 * source_replay->utilization,
+              100 * synth_replay->utilization);
+  return 0;
+}

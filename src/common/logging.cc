@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace swim {
+namespace internal_logging {
+namespace {
+
+const char* SeverityTag(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace swim

@@ -1,0 +1,66 @@
+#ifndef SWIM_COMMON_LOGGING_H_
+#define SWIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace swim {
+namespace internal_logging {
+
+/// Log severities. kFatal aborts the process after emitting the message.
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates one log line; emits (and possibly aborts) in the destructor.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+/// Allows `SWIM_CHECK(...) << ...` to appear in a void context.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace swim
+
+#define SWIM_LOG(severity)                                        \
+  ::swim::internal_logging::LogMessage(                           \
+      ::swim::internal_logging::Severity::k##severity, __FILE__,  \
+      __LINE__)
+
+/// Fatal assertion on programmer errors (invariant violations). Not for
+/// recoverable conditions - those return Status.
+#define SWIM_CHECK(condition)                                   \
+  (condition) ? (void)0                                         \
+              : ::swim::internal_logging::Voidify() &           \
+                    SWIM_LOG(Fatal) << "Check failed: " #condition " "
+
+#define SWIM_CHECK_OK(expr)                                        \
+  do {                                                             \
+    const auto& swim_check_ok_status = (expr);                     \
+    SWIM_CHECK(swim_check_ok_status.ok()) << swim_check_ok_status; \
+  } while (false)
+
+#define SWIM_CHECK_EQ(a, b) SWIM_CHECK((a) == (b))
+#define SWIM_CHECK_NE(a, b) SWIM_CHECK((a) != (b))
+#define SWIM_CHECK_LT(a, b) SWIM_CHECK((a) < (b))
+#define SWIM_CHECK_LE(a, b) SWIM_CHECK((a) <= (b))
+#define SWIM_CHECK_GT(a, b) SWIM_CHECK((a) > (b))
+#define SWIM_CHECK_GE(a, b) SWIM_CHECK((a) >= (b))
+
+#endif  // SWIM_COMMON_LOGGING_H_

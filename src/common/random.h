@@ -1,0 +1,78 @@
+#ifndef SWIM_COMMON_RANDOM_H_
+#define SWIM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace swim {
+
+/// PCG32 (Permuted Congruential Generator, O'Neill 2014): a small, fast,
+/// statistically strong 32-bit generator with a 64-bit state. swimcpp uses
+/// its own engine (rather than std::mt19937) so that synthesized workloads
+/// are bit-identical across platforms and standard library versions.
+///
+/// Satisfies the UniformRandomBitGenerator concept.
+class Pcg32 {
+ public:
+  using result_type = uint32_t;
+
+  /// Seeds the generator. Distinct (seed, stream) pairs yield independent
+  /// sequences; the stream selector lets subsystems derive non-overlapping
+  /// generators from one user-level seed.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Returns the next 32 random bits.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// debiased modulo (Lemire-style rejection) so all values are
+  /// equally likely.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate (Box-Muller; deterministic, no cached spare).
+  double NextGaussian();
+
+  /// Lognormal deviate: exp(N(mu, sigma)). `sigma` must be >= 0.
+  double NextLognormal(double mu, double sigma);
+
+  /// Exponential deviate with the given rate (mean 1/rate). `rate` > 0.
+  double NextExponential(double rate);
+
+  /// Pareto deviate with scale x_m > 0 and shape alpha > 0.
+  double NextPareto(double x_min, double alpha);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Returns a new generator seeded deterministically from this one; use to
+  /// hand independent streams to subcomponents.
+  Pcg32 Fork();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace swim
+
+#endif  // SWIM_COMMON_RANDOM_H_

@@ -1,0 +1,101 @@
+#ifndef SWIM_COMMON_STATUS_H_
+#define SWIM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace swim {
+
+/// Canonical error space, modeled after absl::StatusCode. Only the codes the
+/// library actually produces are defined.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+/// Returns the canonical spelling of a status code, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result. swimcpp is exception-free (per the
+/// Google C++ style guide): fallible operations return Status or
+/// StatusOr<T>, and callers must inspect the result.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Factory helpers mirroring absl's ErrorSpace constructors.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status IoError(std::string message);
+
+}  // namespace swim
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define SWIM_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::swim::Status swim_status_macro_value = (expr); \
+    if (!swim_status_macro_value.ok()) {             \
+      return swim_status_macro_value;                \
+    }                                                \
+  } while (false)
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define SWIM_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  SWIM_ASSIGN_OR_RETURN_IMPL_(                          \
+      SWIM_STATUS_MACRO_CONCAT_(swim_statusor, __LINE__), lhs, rexpr)
+
+#define SWIM_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) {                                   \
+    return std::move(statusor).status();                  \
+  }                                                       \
+  lhs = std::move(statusor).value()
+
+#define SWIM_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define SWIM_STATUS_MACRO_CONCAT_(x, y) SWIM_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // SWIM_COMMON_STATUS_H_

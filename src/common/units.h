@@ -1,0 +1,36 @@
+#ifndef SWIM_COMMON_UNITS_H_
+#define SWIM_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace swim {
+
+// Decimal byte units, matching the paper's KB/MB/GB/TB axes.
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+inline constexpr double kEB = 1e18;
+
+// Time units in seconds.
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kWeek = 7.0 * kDay;
+
+/// Renders a byte count with a decimal unit suffix, e.g. "1.5 GB".
+/// Negative values are rendered with a leading minus sign.
+std::string FormatBytes(double bytes);
+
+/// Renders a duration in seconds with an adaptive unit, e.g. "4 min",
+/// "2.5 hrs", "3 days".
+std::string FormatDuration(double seconds);
+
+/// Renders a plain count with thousands separators, e.g. "1,129,193".
+std::string FormatCount(uint64_t count);
+
+}  // namespace swim
+
+#endif  // SWIM_COMMON_UNITS_H_

@@ -1,0 +1,235 @@
+#include "core/analysis/compute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "common/units.h"
+#include "stats/kmeans.h"
+#include "stats/sampling.h"
+
+namespace swim::core {
+namespace {
+
+constexpr size_t kDims = 6;
+
+std::vector<double> JobFeatures(const trace::JobRecord& job) {
+  // log10(1 + x) compresses the ~10 orders of magnitude spanned by job
+  // dimensions; +1 keeps exact zeros (map-only shuffle) meaningful.
+  auto f = [](double x) { return std::log10(1.0 + x); };
+  return {f(job.input_bytes),      f(job.shuffle_bytes),
+          f(job.output_bytes),     f(job.duration),
+          f(job.map_task_seconds), f(job.reduce_task_seconds)};
+}
+
+double InverseFeature(double value) {
+  return std::max(0.0, std::pow(10.0, value) - 1.0);
+}
+
+JobClass CentroidToClass(const std::vector<double>& centroid) {
+  JobClass jc;
+  jc.input_bytes = InverseFeature(centroid[0]);
+  jc.shuffle_bytes = InverseFeature(centroid[1]);
+  jc.output_bytes = InverseFeature(centroid[2]);
+  jc.duration_seconds = InverseFeature(centroid[3]);
+  jc.map_task_seconds = InverseFeature(centroid[4]);
+  jc.reduce_task_seconds = InverseFeature(centroid[5]);
+  return jc;
+}
+
+}  // namespace
+
+double JobNameReport::TopTwoFrameworkJobShare() const {
+  std::array<double, trace::kFrameworkCount> shares = framework_by_jobs;
+  std::sort(shares.begin(), shares.end(), std::greater<double>());
+  return shares[0] + shares[1];
+}
+
+JobNameReport AnalyzeJobNames(const trace::Trace& trace) {
+  JobNameReport report;
+  struct Accumulator {
+    double jobs = 0.0;
+    double bytes = 0.0;
+    double task_seconds = 0.0;
+  };
+  std::unordered_map<std::string, Accumulator> by_word;
+  double total_jobs = 0.0;
+  double total_bytes = 0.0;
+  double total_task_seconds = 0.0;
+  for (const auto& job : trace.jobs()) {
+    if (job.name.empty()) continue;
+    std::string word = FirstWordOfJobName(job.name);
+    if (word.empty()) word = "[identifier]";
+    Accumulator& acc = by_word[word];
+    acc.jobs += 1.0;
+    acc.bytes += job.TotalBytes();
+    acc.task_seconds += job.TotalTaskSeconds();
+    total_jobs += 1.0;
+    total_bytes += job.TotalBytes();
+    total_task_seconds += job.TotalTaskSeconds();
+    ++report.named_jobs;
+  }
+  if (total_jobs == 0.0) return report;
+
+  report.words.reserve(by_word.size());
+  for (const auto& [word, acc] : by_word) {
+    NameShare share;
+    share.word = word;
+    share.framework = trace::ClassifyFramework(word);
+    share.by_jobs = acc.jobs / total_jobs;
+    share.by_bytes = total_bytes > 0.0 ? acc.bytes / total_bytes : 0.0;
+    share.by_task_seconds =
+        total_task_seconds > 0.0 ? acc.task_seconds / total_task_seconds : 0.0;
+    int fw = static_cast<int>(share.framework);
+    report.framework_by_jobs[fw] += share.by_jobs;
+    report.framework_by_bytes[fw] += share.by_bytes;
+    report.framework_by_task_seconds[fw] += share.by_task_seconds;
+    report.words.push_back(std::move(share));
+  }
+  std::sort(report.words.begin(), report.words.end(),
+            [](const NameShare& a, const NameShare& b) {
+              return a.by_jobs > b.by_jobs;
+            });
+  return report;
+}
+
+std::string LabelForCentroid(const JobClass& c) {
+  const double total = c.TotalBytes();
+  const bool map_only = c.reduce_task_seconds < 1.0 && c.shuffle_bytes < kMB;
+
+  // Small interactive jobs: little data, minutes-at-most duration, modest
+  // task time. The byte bound is looser than the paper's 10 GB dichotomy
+  // because k-means may carve the small-job mass into adjacent
+  // sub-clusters whose upper centroid sits somewhat above the class
+  // median (CC-c centers its small class at ~8.9 GB).
+  if (total < 30 * kGB && c.duration_seconds < 10 * kMinute &&
+      c.map_task_seconds < 60000) {
+    return "Small jobs";
+  }
+  // Data-loading pattern: negligible input, sizable output, no reduce.
+  if (map_only && c.input_bytes < 10 * kMB && c.output_bytes > 100 * kMB) {
+    return "Load data";
+  }
+
+  std::string verb;
+  double in = std::max(c.input_bytes, 1.0);
+  double out_ratio = c.output_bytes / in;
+  double shuffle_ratio = c.shuffle_bytes / in;
+  if (out_ratio < 0.05) {
+    verb = shuffle_ratio > 1.5 ? "Expand and aggregate" : "Aggregate";
+  } else if (out_ratio > 2.0) {
+    verb = "Expand";
+  } else if (shuffle_ratio > 2.0 && out_ratio < 0.5) {
+    verb = "Expand and aggregate";
+  } else {
+    verb = "Transform";
+  }
+  if (map_only) verb = "Map only " + ToLower(verb);
+
+  std::string qualifier;
+  if (total >= 50 * kTB) {
+    qualifier = ", huge";
+  } else if (total >= 5 * kTB) {
+    qualifier = ", very large";
+  } else if (c.duration_seconds >= 12 * kHour) {
+    qualifier = ", long";
+  }
+  return verb + qualifier;
+}
+
+StatusOr<JobClassification> ClassifyJobs(const trace::Trace& trace,
+                                         const ClassificationOptions& options) {
+  if (trace.empty()) return InvalidArgumentError("empty trace");
+
+  // Subsample for fitting.
+  Pcg32 rng(options.seed, /*stream=*/0xc1a55);
+  stats::ReservoirSampler<std::vector<double>> sampler(
+      std::max<size_t>(1, options.sample_cap), rng.Fork());
+  for (const auto& job : trace.jobs()) sampler.Add(JobFeatures(job));
+  std::vector<std::vector<double>> sample = sampler.sample();
+
+  stats::ColumnScaling scaling = stats::StandardizeColumns(sample);
+  stats::KMeansOptions kmeans_options;
+  kmeans_options.seed = options.seed;
+  SWIM_ASSIGN_OR_RETURN(
+      stats::ChooseKResult elbow,
+      stats::ChooseKByElbow(sample, options.max_k, options.min_improvement,
+                            kmeans_options));
+  SWIM_ASSIGN_OR_RETURN(stats::KMeansResult fit,
+                        stats::KMeansFit(sample, elbow.k, kmeans_options));
+
+  JobClassification result;
+  result.k = elbow.k;
+  result.elbow_residuals = elbow.residuals;
+
+  // Assign every job (not just the sample) to its nearest centroid, and
+  // accumulate log-space means per cluster for reporting.
+  std::vector<size_t> counts(fit.centroids.size(), 0);
+  std::vector<std::vector<double>> log_sums(
+      fit.centroids.size(), std::vector<double>(kDims, 0.0));
+  for (const auto& job : trace.jobs()) {
+    std::vector<double> features = JobFeatures(job);
+    // Standardize with the sample's scaling.
+    for (size_t d = 0; d < kDims; ++d) {
+      features[d] -= scaling.mean[d];
+      if (scaling.stddev[d] > 0.0) features[d] /= scaling.stddev[d];
+    }
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < fit.centroids.size(); ++c) {
+      double dist = 0.0;
+      for (size_t d = 0; d < kDims; ++d) {
+        double diff = features[d] - fit.centroids[c][d];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    ++counts[best];
+    for (size_t d = 0; d < kDims; ++d) {
+      log_sums[best][d] +=
+          features[d] * (scaling.stddev[d] > 0.0 ? scaling.stddev[d] : 1.0) +
+          scaling.mean[d];
+    }
+  }
+
+  for (size_t c = 0; c < fit.centroids.size(); ++c) {
+    if (counts[c] == 0) continue;
+    std::vector<double> mean_log(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      mean_log[d] = log_sums[c][d] / static_cast<double>(counts[c]);
+    }
+    JobClass jc = CentroidToClass(mean_log);
+    jc.count = counts[c];
+    jc.label = LabelForCentroid(jc);
+    result.classes.push_back(std::move(jc));
+  }
+  std::sort(result.classes.begin(), result.classes.end(),
+            [](const JobClass& a, const JobClass& b) {
+              return a.count > b.count;
+            });
+  result.largest_class_fraction =
+      static_cast<double>(result.classes.front().count) /
+      static_cast<double>(trace.size());
+  size_t small_labeled = 0;
+  size_t under_10gb = 0;
+  for (const auto& jc : result.classes) {
+    if (jc.label == "Small jobs") small_labeled += jc.count;
+    // The paper's "<10 GB" dichotomy is a class-granularity statement
+    // (sum of Table 2 cluster sizes whose centers touch <10 GB); small-job
+    // sub-clusters count wholesale.
+    if (jc.TotalBytes() < 10 * kGB || jc.label == "Small jobs") {
+      under_10gb += jc.count;
+    }
+  }
+  result.small_label_fraction =
+      static_cast<double>(small_labeled) / static_cast<double>(trace.size());
+  result.fraction_under_10gb =
+      static_cast<double>(under_10gb) / static_cast<double>(trace.size());
+  return result;
+}
+
+}  // namespace swim::core

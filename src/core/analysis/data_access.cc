@@ -1,0 +1,216 @@
+#include "core/analysis/data_access.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+#include "storage/access_stream.h"
+
+namespace swim::core {
+namespace {
+
+FilePopularity PopularityFromCounts(
+    const std::unordered_map<std::string, size_t>& counts) {
+  FilePopularity result;
+  result.distinct_files = counts.size();
+  result.frequencies.reserve(counts.size());
+  for (const auto& [path, count] : counts) {
+    result.frequencies.push_back(static_cast<double>(count));
+    result.total_accesses += count;
+  }
+  std::sort(result.frequencies.begin(), result.frequencies.end(),
+            std::greater<double>());
+  result.zipf = stats::FitZipf(result.frequencies);
+  return result;
+}
+
+}  // namespace
+
+DataSizeCdfs ComputeDataSizeCdfs(const trace::Trace& trace) {
+  std::vector<double> input, shuffle, output;
+  input.reserve(trace.size());
+  shuffle.reserve(trace.size());
+  output.reserve(trace.size());
+  for (const auto& job : trace.jobs()) {
+    input.push_back(job.input_bytes);
+    shuffle.push_back(job.shuffle_bytes);
+    output.push_back(job.output_bytes);
+  }
+  return DataSizeCdfs{stats::EmpiricalCdf(std::move(input)),
+                      stats::EmpiricalCdf(std::move(shuffle)),
+                      stats::EmpiricalCdf(std::move(output))};
+}
+
+FilePopularity ComputeInputPopularity(const trace::Trace& trace) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& job : trace.jobs()) {
+    if (!job.input_path.empty()) ++counts[job.input_path];
+  }
+  return PopularityFromCounts(counts);
+}
+
+FilePopularity ComputeOutputPopularity(const trace::Trace& trace) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& job : trace.jobs()) {
+    if (!job.output_path.empty()) ++counts[job.output_path];
+  }
+  return PopularityFromCounts(counts);
+}
+
+SizeSkewCurve ComputeSizeSkew(const trace::Trace& trace, bool use_output,
+                              size_t curve_points) {
+  SizeSkewCurve curve;
+  // Per-job file size and per-file stored size.
+  std::vector<double> job_file_sizes;
+  std::unordered_map<std::string, double> file_sizes;
+  for (const auto& job : trace.jobs()) {
+    const std::string& path = use_output ? job.output_path : job.input_path;
+    double bytes = use_output ? job.output_bytes : job.input_bytes;
+    if (path.empty()) continue;
+    auto [it, inserted] = file_sizes.emplace(path, bytes);
+    if (!inserted) it->second = std::max(it->second, bytes);
+  }
+  // Second pass: attribute to each job the (final) size of its file.
+  for (const auto& job : trace.jobs()) {
+    const std::string& path = use_output ? job.output_path : job.input_path;
+    if (path.empty()) continue;
+    job_file_sizes.push_back(file_sizes[path]);
+  }
+  curve.jobs_with_paths = job_file_sizes.size();
+  if (job_file_sizes.empty()) return curve;
+
+  std::vector<double> stored;
+  stored.reserve(file_sizes.size());
+  for (const auto& [path, bytes] : file_sizes) {
+    stored.push_back(bytes);
+    curve.total_stored_bytes += bytes;
+  }
+  std::sort(job_file_sizes.begin(), job_file_sizes.end());
+  std::sort(stored.begin(), stored.end());
+  std::vector<double> stored_cumulative(stored.size());
+  double running = 0.0;
+  for (size_t i = 0; i < stored.size(); ++i) {
+    running += stored[i];
+    stored_cumulative[i] = running;
+  }
+
+  double lo = std::max(1.0, job_file_sizes.front());
+  double hi = std::max(lo, job_file_sizes.back());
+  double log_lo = std::log10(lo);
+  double log_hi = std::log10(hi);
+  for (size_t i = 0; i < curve_points; ++i) {
+    double t = curve_points > 1
+                   ? static_cast<double>(i) / static_cast<double>(curve_points - 1)
+                   : 1.0;
+    SizeSkewPoint point;
+    point.file_bytes = std::pow(10.0, log_lo + t * (log_hi - log_lo));
+    auto job_it = std::upper_bound(job_file_sizes.begin(),
+                                   job_file_sizes.end(), point.file_bytes);
+    point.fraction_of_jobs =
+        static_cast<double>(job_it - job_file_sizes.begin()) /
+        static_cast<double>(job_file_sizes.size());
+    auto stored_it =
+        std::upper_bound(stored.begin(), stored.end(), point.file_bytes);
+    size_t index = static_cast<size_t>(stored_it - stored.begin());
+    double bytes_below = index == 0 ? 0.0 : stored_cumulative[index - 1];
+    point.fraction_of_stored_bytes =
+        curve.total_stored_bytes > 0.0 ? bytes_below / curve.total_stored_bytes
+                                       : 0.0;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+double StoredBytesFractionForJobCoverage(const trace::Trace& trace,
+                                         double job_fraction,
+                                         bool use_output) {
+  // Per-file (final) sizes and, per job, the size of the file it accessed.
+  std::unordered_map<std::string, double> file_sizes;
+  for (const auto& job : trace.jobs()) {
+    const std::string& path = use_output ? job.output_path : job.input_path;
+    double bytes = use_output ? job.output_bytes : job.input_bytes;
+    if (path.empty()) continue;
+    auto [it, inserted] = file_sizes.emplace(path, bytes);
+    if (!inserted) it->second = std::max(it->second, bytes);
+  }
+  std::vector<double> job_file_sizes;
+  for (const auto& job : trace.jobs()) {
+    const std::string& path = use_output ? job.output_path : job.input_path;
+    if (path.empty()) continue;
+    job_file_sizes.push_back(file_sizes[path]);
+  }
+  if (job_file_sizes.empty()) return 0.0;
+
+  // Size threshold S below which `job_fraction` of accesses fall ...
+  std::sort(job_file_sizes.begin(), job_file_sizes.end());
+  double threshold = stats::QuantileSorted(job_file_sizes, job_fraction);
+  // ... and the share of stored bytes held by files of size <= S.
+  double covered_bytes = 0.0;
+  double total_bytes = 0.0;
+  for (const auto& [path, bytes] : file_sizes) {
+    total_bytes += bytes;
+    if (bytes <= threshold) covered_bytes += bytes;
+  }
+  return total_bytes > 0.0 ? covered_bytes / total_bytes : 0.0;
+}
+
+ReaccessIntervals ComputeReaccessIntervals(const trace::Trace& trace) {
+  std::vector<double> input_input;
+  std::vector<double> output_input;
+  std::unordered_map<std::string, double> last_read;    // path -> time
+  std::unordered_map<std::string, double> last_written;  // path -> time
+  // Walk the merged access stream chronologically.
+  for (const auto& access : storage::ExtractAccesses(trace)) {
+    if (access.kind == storage::AccessKind::kRead) {
+      auto read_it = last_read.find(access.path);
+      if (read_it != last_read.end()) {
+        input_input.push_back(access.time - read_it->second);
+      }
+      auto write_it = last_written.find(access.path);
+      if (write_it != last_written.end()) {
+        double interval = access.time - write_it->second;
+        if (interval >= 0.0) output_input.push_back(interval);
+      }
+      last_read[access.path] = access.time;
+    } else {
+      last_written[access.path] = access.time;
+    }
+  }
+  return ReaccessIntervals{stats::EmpiricalCdf(std::move(input_input)),
+                           stats::EmpiricalCdf(std::move(output_input))};
+}
+
+ReaccessFractions ComputeReaccessFractions(const trace::Trace& trace) {
+  ReaccessFractions result;
+  std::unordered_set<std::string> seen_inputs;
+  std::unordered_set<std::string> seen_outputs;
+  size_t input_hits = 0;
+  size_t output_hits = 0;
+  // Chronological scan; for each job, was its input path pre-existing?
+  for (const auto& access : storage::ExtractAccesses(trace)) {
+    if (access.kind == storage::AccessKind::kRead) {
+      ++result.jobs_with_paths;
+      // Count the strongest provenance: output-of-an-earlier-job wins over
+      // input-seen-before (matches Figure 6's two stacked categories).
+      if (seen_outputs.count(access.path) > 0) {
+        ++output_hits;
+      } else if (seen_inputs.count(access.path) > 0) {
+        ++input_hits;
+      }
+      seen_inputs.insert(access.path);
+    } else {
+      seen_outputs.insert(access.path);
+    }
+  }
+  if (result.jobs_with_paths > 0) {
+    result.input_reaccess = static_cast<double>(input_hits) /
+                            static_cast<double>(result.jobs_with_paths);
+    result.output_reaccess = static_cast<double>(output_hits) /
+                             static_cast<double>(result.jobs_with_paths);
+  }
+  return result;
+}
+
+}  // namespace swim::core

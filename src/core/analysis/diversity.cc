@@ -1,0 +1,101 @@
+#include "core/analysis/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "stats/descriptive.h"
+
+namespace swim::core {
+namespace {
+
+DiversityMetric MakeMetric(std::string name, std::vector<double> values) {
+  DiversityMetric metric;
+  metric.name = std::move(name);
+  metric.values = std::move(values);
+  if (metric.values.empty()) return metric;
+  metric.min = stats::Min(metric.values);
+  metric.max = stats::Max(metric.values);
+  if (metric.min > 0.0) metric.spread_ratio = metric.max / metric.min;
+  double mean = stats::Mean(metric.values);
+  if (mean != 0.0) metric.cv = stats::StdDev(metric.values) / mean;
+  return metric;
+}
+
+}  // namespace
+
+std::vector<const DiversityMetric*> CrossWorkloadReport::RankedByDiversity()
+    const {
+  std::vector<const DiversityMetric*> ranked;
+  ranked.reserve(metrics.size());
+  for (const auto& metric : metrics) ranked.push_back(&metric);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DiversityMetric* a, const DiversityMetric* b) {
+              return a->cv > b->cv;
+            });
+  return ranked;
+}
+
+StatusOr<CrossWorkloadReport> CompareWorkloads(
+    const std::vector<WorkloadReport>& reports) {
+  if (reports.size() < 2) {
+    return InvalidArgumentError("need at least two workloads to compare");
+  }
+  CrossWorkloadReport result;
+  std::vector<double> median_input, median_shuffle, median_output,
+      median_duration, jobs_per_hour, peak_to_median, bytes_compute,
+      diurnal, small_share, reaccess, zipf_slope;
+  for (const auto& report : reports) {
+    result.workload_names.push_back(report.summary.name);
+    median_input.push_back(report.data_sizes.input.median());
+    median_shuffle.push_back(report.data_sizes.shuffle.median());
+    median_output.push_back(report.data_sizes.output.median());
+    median_duration.push_back(report.summary.median_duration);
+    double hours = std::max(report.summary.span_seconds / 3600.0, 1.0);
+    jobs_per_hour.push_back(static_cast<double>(report.summary.jobs) / hours);
+    peak_to_median.push_back(report.burstiness.task_seconds.PeakToMedian());
+    bytes_compute.push_back(report.correlations.bytes_task_seconds);
+    diurnal.push_back(report.diurnal_strength);
+    small_share.push_back(report.classes.small_label_fraction);
+    if (report.input_popularity.distinct_files > 0) {
+      reaccess.push_back(report.reaccess_fractions.input_reaccess +
+                         report.reaccess_fractions.output_reaccess);
+      zipf_slope.push_back(report.input_popularity.zipf.slope);
+    }
+  }
+  result.metrics.push_back(MakeMetric("median input bytes", median_input));
+  result.metrics.push_back(
+      MakeMetric("median shuffle bytes", median_shuffle));
+  result.metrics.push_back(MakeMetric("median output bytes", median_output));
+  result.metrics.push_back(
+      MakeMetric("median duration (s)", median_duration));
+  result.metrics.push_back(MakeMetric("jobs per hour", jobs_per_hour));
+  result.metrics.push_back(
+      MakeMetric("peak-to-median task-secs", peak_to_median));
+  result.metrics.push_back(
+      MakeMetric("bytes-compute correlation", bytes_compute));
+  result.metrics.push_back(MakeMetric("diurnal strength", diurnal));
+  result.metrics.push_back(MakeMetric("small-job class share", small_share));
+  result.metrics.push_back(MakeMetric("combined re-access", reaccess));
+  result.metrics.push_back(MakeMetric("Zipf popularity slope", zipf_slope));
+  return result;
+}
+
+std::string FormatDiversity(const CrossWorkloadReport& report) {
+  std::ostringstream os;
+  char line[200];
+  std::snprintf(line, sizeof(line), "%-28s %10s %10s %12s %8s\n", "metric",
+                "min", "max", "max/min", "CV");
+  os << line;
+  for (const DiversityMetric* metric : report.RankedByDiversity()) {
+    if (metric->values.empty()) continue;
+    std::snprintf(line, sizeof(line), "%-28s %10.3g %10.3g %12.3g %8.2f\n",
+                  metric->name.c_str(), metric->min, metric->max,
+                  metric->spread_ratio, metric->cv);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace swim::core

@@ -1,0 +1,50 @@
+#ifndef SWIM_CORE_ANALYSIS_DIVERSITY_H_
+#define SWIM_CORE_ANALYSIS_DIVERSITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/analysis/workload_report.h"
+
+namespace swim::core {
+
+/// One scalar characteristic measured across a suite of workloads.
+struct DiversityMetric {
+  std::string name;
+  /// Per-workload values, aligned with CrossWorkloadReport::workload_names.
+  std::vector<double> values;
+  double min = 0.0;
+  double max = 0.0;
+  /// max/min for strictly positive metrics (0 when undefined) - the
+  /// "orders of magnitude" spread the paper keeps pointing at.
+  double spread_ratio = 0.0;
+  /// Coefficient of variation (stddev / mean; 0 when mean is 0).
+  double cv = 0.0;
+};
+
+/// Cross-workload comparison: the quantitative form of the paper's
+/// conclusion that "there is sufficient diversity between workloads that
+/// we should be cautious in claiming any behavior as typical", and of its
+/// one counter-example (the Zipf slope, which is stable everywhere).
+struct CrossWorkloadReport {
+  std::vector<std::string> workload_names;
+  std::vector<DiversityMetric> metrics;
+
+  /// Metrics ranked most-diverse first (by CV).
+  std::vector<const DiversityMetric*> RankedByDiversity() const;
+};
+
+/// Builds the comparison from per-workload analysis reports.
+/// Metrics covered: median input/shuffle/output bytes, median duration,
+/// jobs per hour, burstiness peak-to-median, bytes-compute correlation,
+/// diurnal strength, small-job class share, re-access fraction, and the
+/// Zipf popularity slope (the stability control).
+StatusOr<CrossWorkloadReport> CompareWorkloads(
+    const std::vector<WorkloadReport>& reports);
+
+std::string FormatDiversity(const CrossWorkloadReport& report);
+
+}  // namespace swim::core
+
+#endif  // SWIM_CORE_ANALYSIS_DIVERSITY_H_

@@ -1,0 +1,51 @@
+#include "core/analysis/temporal.h"
+
+#include <algorithm>
+
+#include "stats/correlation.h"
+
+namespace swim::core {
+
+SubmissionSeries ComputeSubmissionSeries(const trace::Trace& trace) {
+  SubmissionSeries series;
+  series.jobs_per_hour = trace.HourlyJobCounts();
+  series.bytes_per_hour = trace.HourlyBytes();
+  series.task_seconds_per_hour = trace.HourlyTaskSeconds();
+  return series;
+}
+
+std::vector<double> WeekWindow(const std::vector<double>& series,
+                               size_t start_hour) {
+  constexpr size_t kWeekHours = 168;
+  if (series.empty()) return {};
+  start_hour = std::min(start_hour, series.size() - 1);
+  size_t end = std::min(series.size(), start_hour + kWeekHours);
+  return std::vector<double>(series.begin() + start_hour,
+                             series.begin() + end);
+}
+
+BurstinessReport ComputeBurstiness(const trace::Trace& trace) {
+  SubmissionSeries series = ComputeSubmissionSeries(trace);
+  return BurstinessReport{
+      stats::BurstinessProfile(series.jobs_per_hour),
+      stats::BurstinessProfile(series.bytes_per_hour),
+      stats::BurstinessProfile(series.task_seconds_per_hour)};
+}
+
+SeriesCorrelations ComputeSeriesCorrelations(const trace::Trace& trace) {
+  SubmissionSeries series = ComputeSubmissionSeries(trace);
+  SeriesCorrelations result;
+  result.jobs_bytes = stats::PearsonCorrelation(series.jobs_per_hour,
+                                                series.bytes_per_hour);
+  result.jobs_task_seconds = stats::PearsonCorrelation(
+      series.jobs_per_hour, series.task_seconds_per_hour);
+  result.bytes_task_seconds = stats::PearsonCorrelation(
+      series.bytes_per_hour, series.task_seconds_per_hour);
+  return result;
+}
+
+double DiurnalStrength(const trace::Trace& trace) {
+  return stats::PeriodStrength(trace.HourlyJobCounts(), /*period=*/24.0);
+}
+
+}  // namespace swim::core

@@ -1,0 +1,44 @@
+#ifndef SWIM_CORE_ANALYSIS_WORKLOAD_REPORT_H_
+#define SWIM_CORE_ANALYSIS_WORKLOAD_REPORT_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "core/analysis/compute.h"
+#include "core/analysis/data_access.h"
+#include "core/analysis/temporal.h"
+#include "trace/summary.h"
+#include "trace/trace.h"
+
+namespace swim::core {
+
+/// Everything the paper computes for one workload, in one struct: the
+/// data / temporal / compute decomposition of section 1's methodology.
+struct WorkloadReport {
+  trace::TraceSummary summary;           // Table 1 row
+  DataSizeCdfs data_sizes;               // Figure 1
+  FilePopularity input_popularity;       // Figure 2 (top)
+  FilePopularity output_popularity;      // Figure 2 (bottom)
+  ReaccessIntervals reaccess_intervals;  // Figure 5
+  ReaccessFractions reaccess_fractions;  // Figure 6
+  BurstinessReport burstiness;           // Figure 8
+  SeriesCorrelations correlations;       // Figure 9
+  double diurnal_strength = 0.0;         // Figure 7 observation
+  JobNameReport names;                   // Figure 10
+  JobClassification classes;             // Table 2
+};
+
+struct AnalysisOptions {
+  ClassificationOptions classification;
+};
+
+/// Runs the full analysis pipeline over a trace.
+StatusOr<WorkloadReport> AnalyzeWorkload(const trace::Trace& trace,
+                                         const AnalysisOptions& options = {});
+
+/// Human-readable multi-section rendering of a report.
+std::string FormatReport(const WorkloadReport& report);
+
+}  // namespace swim::core
+
+#endif  // SWIM_CORE_ANALYSIS_WORKLOAD_REPORT_H_

@@ -1,0 +1,44 @@
+#ifndef SWIM_CORE_SYNTH_FIDELITY_H_
+#define SWIM_CORE_SYNTH_FIDELITY_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace swim::core {
+
+/// Per-dimension statistical distance between a source trace and a
+/// synthesized one.
+struct DimensionFidelity {
+  std::string dimension;
+  /// Kolmogorov-Smirnov distance between the two empirical CDFs (0 = the
+  /// distributions coincide, 1 = disjoint).
+  double ks_distance = 0.0;
+  double source_median = 0.0;
+  double synth_median = 0.0;
+};
+
+struct FidelityReport {
+  std::vector<DimensionFidelity> dimensions;  // the six job dimensions
+  double max_ks = 0.0;
+  /// bytes-compute hourly correlation in each trace (the paper's strongest
+  /// temporal coupling; a good synthesis preserves it).
+  double source_bytes_compute_corr = 0.0;
+  double synth_bytes_compute_corr = 0.0;
+  /// Peak-to-median burstiness of task-seconds/hour in each trace.
+  double source_peak_to_median = 0.0;
+  double synth_peak_to_median = 0.0;
+};
+
+/// Quantifies how well `synthesized` reproduces `source`. The paper offers
+/// no single fidelity number; KS distance across all six job dimensions
+/// plus the temporal couplings is the natural multi-dimensional check.
+FidelityReport CompareTraces(const trace::Trace& source,
+                             const trace::Trace& synthesized);
+
+std::string FormatFidelity(const FidelityReport& report);
+
+}  // namespace swim::core
+
+#endif  // SWIM_CORE_SYNTH_FIDELITY_H_

@@ -1,0 +1,53 @@
+#include "core/synth/scale_down.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace swim::core {
+
+StatusOr<trace::Trace> ScaleDownTrace(const trace::Trace& trace,
+                                      const ScaleDownOptions& options) {
+  if (options.job_fraction <= 0.0 || options.job_fraction > 1.0) {
+    return InvalidArgumentError("job_fraction must be in (0, 1]");
+  }
+  if (options.time_factor <= 0.0) {
+    return InvalidArgumentError("time_factor must be positive");
+  }
+  if (options.data_factor <= 0.0) {
+    return InvalidArgumentError("data_factor must be positive");
+  }
+  Pcg32 rng(options.seed, /*stream=*/0x5ca1e);
+  trace::Trace result(trace.metadata());
+  for (const auto& source : trace.jobs()) {
+    if (options.job_fraction < 1.0 &&
+        !rng.NextBernoulli(options.job_fraction)) {
+      continue;
+    }
+    trace::JobRecord job = source;
+    job.submit_time *= options.time_factor;
+    job.input_bytes *= options.data_factor;
+    job.shuffle_bytes *= options.data_factor;
+    job.output_bytes *= options.data_factor;
+    job.map_task_seconds *= options.data_factor;
+    job.reduce_task_seconds *= options.data_factor;
+    if (options.data_factor < 1.0) {
+      // Fewer/smaller tasks when per-job work shrinks; keep at least one
+      // map task, and one reduce task for jobs that had a reduce stage.
+      job.map_tasks = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 static_cast<double>(job.map_tasks) * options.data_factor)));
+      if (job.reduce_tasks > 0) {
+        job.reduce_tasks = std::max<int64_t>(
+            1, static_cast<int64_t>(
+                   std::llround(static_cast<double>(job.reduce_tasks) *
+                                options.data_factor)));
+      }
+    }
+    result.AddJob(std::move(job));
+  }
+  return result;
+}
+
+}  // namespace swim::core

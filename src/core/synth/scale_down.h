@@ -1,0 +1,35 @@
+#ifndef SWIM_CORE_SYNTH_SCALE_DOWN_H_
+#define SWIM_CORE_SYNTH_SCALE_DOWN_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "trace/trace.h"
+
+namespace swim::core {
+
+/// Scale-down operators for replaying production-scale workloads on small
+/// clusters. The paper (section 7) notes there is no agreed-on way to
+/// scale a workload; these are the three obvious axes, composable and
+/// measurable with CompareTraces:
+///
+///  - job_fraction: keep a uniform Bernoulli sample of jobs (thins load
+///    while preserving per-job statistics);
+///  - time_factor: multiply submit times (< 1 compresses the trace,
+///    intensifying load; durations are untouched);
+///  - data_factor: multiply byte dimensions and task-seconds (shrinks
+///    per-job work proportionally, as SWIM does when replaying on fewer
+///    nodes).
+struct ScaleDownOptions {
+  double job_fraction = 1.0;  // in (0, 1]
+  double time_factor = 1.0;   // > 0
+  double data_factor = 1.0;   // > 0
+  uint64_t seed = 3;
+};
+
+StatusOr<trace::Trace> ScaleDownTrace(const trace::Trace& trace,
+                                      const ScaleDownOptions& options);
+
+}  // namespace swim::core
+
+#endif  // SWIM_CORE_SYNTH_SCALE_DOWN_H_

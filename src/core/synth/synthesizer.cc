@@ -1,0 +1,179 @@
+#include "core/synth/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/sampling.h"
+#include "workloads/file_population.h"
+#include "workloads/name_generator.h"
+
+namespace swim::core {
+namespace {
+
+/// Independent per-dimension lognormal fit (the naive baseline).
+struct LognormalFit {
+  double mu = 0.0;     // mean of log(1+x)
+  double sigma = 0.0;  // stddev of log(1+x)
+  double zero_fraction = 0.0;
+
+  double Sample(Pcg32& rng) const {
+    if (rng.NextBernoulli(zero_fraction)) return 0.0;
+    return std::max(0.0, std::exp(mu + sigma * rng.NextGaussian()) - 1.0);
+  }
+};
+
+LognormalFit FitLognormal(const std::vector<double>& values) {
+  LognormalFit fit;
+  std::vector<double> logs;
+  logs.reserve(values.size());
+  size_t zeros = 0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      ++zeros;
+    } else {
+      logs.push_back(std::log(1.0 + v));
+    }
+  }
+  fit.zero_fraction = values.empty()
+                          ? 0.0
+                          : static_cast<double>(zeros) /
+                                static_cast<double>(values.size());
+  if (logs.empty()) return fit;
+  double sum = 0.0;
+  for (double l : logs) sum += l;
+  fit.mu = sum / static_cast<double>(logs.size());
+  double var = 0.0;
+  for (double l : logs) var += (l - fit.mu) * (l - fit.mu);
+  fit.sigma = std::sqrt(var / static_cast<double>(logs.size()));
+  return fit;
+}
+
+double Jitter(double value, double sigma, Pcg32& rng) {
+  if (value <= 0.0 || sigma <= 0.0) return value;
+  return value * std::exp(sigma * rng.NextGaussian() - sigma * sigma / 2.0);
+}
+
+}  // namespace
+
+StatusOr<trace::Trace> SynthesizeTrace(const WorkloadModel& model,
+                                       const SynthesisOptions& options) {
+  if (model.exemplars.empty()) {
+    return InvalidArgumentError("model has no exemplars");
+  }
+  if (model.span_seconds <= 0.0) {
+    return InvalidArgumentError("model span must be positive");
+  }
+  const size_t job_count =
+      options.job_count > 0 ? options.job_count : model.total_jobs;
+  const double span = options.span_seconds > 0.0 ? options.span_seconds
+                                                 : model.span_seconds;
+  const size_t hours =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(span / 3600.0)));
+
+  Pcg32 master(options.seed, /*stream=*/0x5f17);
+  Pcg32 arrival_rng = master.Fork();
+  Pcg32 job_rng = master.Fork();
+  Pcg32 file_rng = master.Fork();
+
+  // Arrival envelope resampled (nearest neighbor) onto the target span.
+  std::vector<double> envelope(hours, 1.0);
+  if (!model.hourly_envelope.empty()) {
+    for (size_t h = 0; h < hours; ++h) {
+      size_t src = h * model.hourly_envelope.size() / hours;
+      envelope[h] = std::max(model.hourly_envelope[src], 0.0);
+    }
+    double total = 0.0;
+    for (double e : envelope) total += e;
+    if (total <= 0.0) envelope.assign(hours, 1.0);
+  }
+  stats::DiscreteSampler hour_sampler(envelope);
+
+  std::vector<double> submit_times(job_count);
+  for (size_t i = 0; i < job_count; ++i) {
+    double hour = static_cast<double>(hour_sampler.Sample(arrival_rng));
+    submit_times[i] = (hour + arrival_rng.NextDouble()) * 3600.0;
+  }
+  std::sort(submit_times.begin(), submit_times.end());
+
+  // Parametric baseline fits (only used by kParametricLognormal).
+  LognormalFit fit_input, fit_shuffle, fit_output, fit_duration, fit_map,
+      fit_reduce;
+  if (options.method == SynthesisMethod::kParametricLognormal) {
+    auto collect = [&](auto extractor) {
+      std::vector<double> values;
+      values.reserve(model.exemplars.size());
+      for (const auto& e : model.exemplars) values.push_back(extractor(e));
+      return values;
+    };
+    fit_input = FitLognormal(
+        collect([](const trace::JobRecord& j) { return j.input_bytes; }));
+    fit_shuffle = FitLognormal(
+        collect([](const trace::JobRecord& j) { return j.shuffle_bytes; }));
+    fit_output = FitLognormal(
+        collect([](const trace::JobRecord& j) { return j.output_bytes; }));
+    fit_duration = FitLognormal(
+        collect([](const trace::JobRecord& j) { return j.duration; }));
+    fit_map = FitLognormal(collect(
+        [](const trace::JobRecord& j) { return j.map_task_seconds; }));
+    fit_reduce = FitLognormal(collect(
+        [](const trace::JobRecord& j) { return j.reduce_task_seconds; }));
+  }
+
+  trace::TraceMetadata metadata;
+  metadata.name = model.source_name.empty() ? "synthetic"
+                                            : model.source_name + "-synth";
+  metadata.has_names = model.columns.names;
+  metadata.has_input_paths = model.columns.input_paths;
+  metadata.has_output_paths = model.columns.output_paths;
+  trace::Trace result(metadata);
+
+  workloads::FilePopulationSim files(model.file_model, model.columns,
+                                     file_rng);
+
+  for (size_t i = 0; i < job_count; ++i) {
+    trace::JobRecord job;
+    job.job_id = i + 1;
+    job.submit_time = submit_times[i];
+
+    if (options.method == SynthesisMethod::kEmpirical) {
+      const trace::JobRecord& exemplar =
+          model.exemplars[job_rng.NextBounded(model.exemplars.size())];
+      const double s = options.jitter_sigma;
+      job.input_bytes = Jitter(exemplar.input_bytes, s, job_rng);
+      job.shuffle_bytes = Jitter(exemplar.shuffle_bytes, s, job_rng);
+      job.output_bytes = Jitter(exemplar.output_bytes, s, job_rng);
+      job.duration = Jitter(exemplar.duration, s, job_rng);
+      job.map_task_seconds = Jitter(exemplar.map_task_seconds, s, job_rng);
+      job.reduce_task_seconds =
+          Jitter(exemplar.reduce_task_seconds, s, job_rng);
+      job.map_tasks = exemplar.map_tasks;
+      job.reduce_tasks = exemplar.reduce_tasks;
+      if (model.columns.names && !exemplar.name.empty()) {
+        job.name =
+            workloads::DecorateJobName(exemplar.name, job.job_id, job_rng);
+      }
+    } else {
+      job.input_bytes = fit_input.Sample(job_rng);
+      job.shuffle_bytes = fit_shuffle.Sample(job_rng);
+      job.output_bytes = fit_output.Sample(job_rng);
+      job.duration = fit_duration.Sample(job_rng);
+      job.map_task_seconds = fit_map.Sample(job_rng);
+      job.reduce_task_seconds = fit_reduce.Sample(job_rng);
+      double typical_task = job_rng.NextDouble(20.0, 60.0);
+      job.map_tasks = std::max<int64_t>(
+          1, static_cast<int64_t>(job.map_task_seconds / typical_task));
+      if (job.reduce_task_seconds > 0.0) {
+        job.reduce_tasks = std::max<int64_t>(
+            1, static_cast<int64_t>(job.reduce_task_seconds / typical_task));
+      }
+    }
+
+    files.AssignPaths(job);
+    result.AddJob(std::move(job));
+  }
+  return result;
+}
+
+}  // namespace swim::core

@@ -1,0 +1,42 @@
+#ifndef SWIM_CORE_SYNTH_SYNTHESIZER_H_
+#define SWIM_CORE_SYNTH_SYNTHESIZER_H_
+
+#include "common/statusor.h"
+#include "core/synth/workload_model.h"
+#include "trace/trace.h"
+
+namespace swim::core {
+
+enum class SynthesisMethod {
+  /// Resample whole exemplar jobs with small multiplicative jitter - the
+  /// SWIM approach; preserves the joint distribution across dimensions.
+  kEmpirical,
+  /// Fit an independent lognormal per dimension and sample each
+  /// independently. Deliberately naive; the ablation baseline showing why
+  /// the paper insists on empirical models (section 7).
+  kParametricLognormal,
+};
+
+struct SynthesisOptions {
+  /// Jobs to synthesize; 0 means the model's total.
+  size_t job_count = 0;
+  /// Target span; 0 means the model's span. A shorter span compresses the
+  /// arrival envelope (time scale-down).
+  double span_seconds = 0.0;
+  uint64_t seed = 5;
+  /// Sigma of the lognormal jitter applied to resampled dimensions, so
+  /// synthetic jobs are not literal copies.
+  double jitter_sigma = 0.05;
+  SynthesisMethod method = SynthesisMethod::kEmpirical;
+};
+
+/// Synthesizes a trace that is statistically representative of the model's
+/// source workload: per-job dimensions from exemplar resampling, arrivals
+/// from the empirical hourly envelope, file paths from the fitted
+/// popularity/locality model. Deterministic in (model, options).
+StatusOr<trace::Trace> SynthesizeTrace(const WorkloadModel& model,
+                                       const SynthesisOptions& options = {});
+
+}  // namespace swim::core
+
+#endif  // SWIM_CORE_SYNTH_SYNTHESIZER_H_

@@ -1,0 +1,106 @@
+#include "frameworks/hive.h"
+
+namespace swim::frameworks {
+namespace {
+
+bool InUnit(double v) { return v > 0.0 && v <= 1.0; }
+
+}  // namespace
+
+StatusOr<JobChain> CompileHiveQuery(const HiveQuerySpec& spec) {
+  if (!InUnit(spec.selectivity)) {
+    return InvalidArgumentError("selectivity must be in (0, 1]");
+  }
+  if (!InUnit(spec.projection)) {
+    return InvalidArgumentError("projection must be in (0, 1]");
+  }
+  if (spec.joins < 0) return InvalidArgumentError("joins must be >= 0");
+  if (spec.group_by && !InUnit(spec.aggregation_ratio)) {
+    return InvalidArgumentError("aggregation_ratio must be in (0, 1]");
+  }
+
+  JobChain chain;
+  chain.framework = trace::Framework::kHive;
+  switch (spec.kind) {
+    case HiveQuerySpec::Kind::kSelect:
+      chain.name_word = "select";
+      break;
+    case HiveQuerySpec::Kind::kInsert:
+      chain.name_word = "insert";
+      break;
+    case HiveQuerySpec::Kind::kFromInsert:
+      chain.name_word = "from";
+      break;
+  }
+  chain.program = HiveQueryText(spec);
+
+  const double filtered = spec.selectivity * spec.projection;
+
+  // Shuffle joins: each is its own stage. The first fuses the scan's
+  // filter/projection into its map side.
+  for (int j = 0; j < spec.joins; ++j) {
+    StageSpec stage;
+    stage.role = "shuffle-join";
+    double survive = (j == 0) ? filtered : 1.0;
+    stage.shuffle_ratio = survive;       // all surviving rows repartition
+    stage.output_ratio = survive * 1.2;  // join output slightly widens
+    stage.map_seconds_per_gb = 25.0;
+    stage.reduce_seconds_per_gb = 35.0;
+    chain.stages.push_back(stage);
+  }
+
+  if (spec.group_by) {
+    StageSpec stage;
+    stage.role = "group-by";
+    double survive = chain.stages.empty() ? filtered : 1.0;
+    stage.shuffle_ratio = survive;
+    stage.output_ratio = survive * spec.aggregation_ratio;
+    stage.map_seconds_per_gb = 22.0;
+    stage.reduce_seconds_per_gb = 28.0;
+    chain.stages.push_back(stage);
+  }
+
+  if (chain.stages.empty()) {
+    // Pure scan: a single map-only stage.
+    StageSpec stage;
+    stage.role = "filter+project";
+    stage.map_only = true;
+    stage.output_ratio = filtered;
+    stage.map_seconds_per_gb = 18.0;
+    chain.stages.push_back(stage);
+  }
+
+  if (spec.order_by) {
+    // Hive's trace-era total order: one single-reducer stage.
+    StageSpec stage;
+    stage.role = "order-by";
+    stage.shuffle_ratio = 1.0;
+    stage.output_ratio = 1.0;
+    stage.map_seconds_per_gb = 15.0;
+    stage.reduce_seconds_per_gb = 45.0;
+    chain.stages.push_back(stage);
+  }
+  return chain;
+}
+
+std::string HiveQueryText(const HiveQuerySpec& spec) {
+  std::string text;
+  switch (spec.kind) {
+    case HiveQuerySpec::Kind::kSelect:
+      text = "SELECT ... FROM src";
+      break;
+    case HiveQuerySpec::Kind::kInsert:
+      text = "INSERT OVERWRITE TABLE dst SELECT ... FROM src";
+      break;
+    case HiveQuerySpec::Kind::kFromInsert:
+      text = "FROM src INSERT OVERWRITE TABLE dst SELECT ...";
+      break;
+  }
+  for (int j = 0; j < spec.joins; ++j) text += " JOIN t" + std::to_string(j);
+  if (spec.selectivity < 1.0) text += " WHERE ...";
+  if (spec.group_by) text += " GROUP BY ...";
+  if (spec.order_by) text += " ORDER BY ...";
+  return text;
+}
+
+}  // namespace swim::frameworks

@@ -1,0 +1,54 @@
+#ifndef SWIM_FRAMEWORKS_HIVE_H_
+#define SWIM_FRAMEWORKS_HIVE_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "frameworks/query_plan.h"
+
+namespace swim::frameworks {
+
+/// A simplified Hive query. The compiler turns it into the MapReduce
+/// stage chain Hive's planner of the trace era (0.x) would emit: one
+/// stage per blocking operator (shuffle join, GROUP BY, ORDER BY), with
+/// map-side filtering and projection fused into the adjacent stage.
+struct HiveQuerySpec {
+  enum class Kind {
+    /// SELECT ... [WHERE] - interactive exploration.
+    kSelect,
+    /// INSERT OVERWRITE TABLE ... SELECT ... - materializing pipelines.
+    kInsert,
+    /// Multi-table FROM ... INSERT - the warehouse-wide scans that carry
+    /// much of FB-2009's I/O under the "from" name.
+    kFromInsert,
+  };
+
+  Kind kind = Kind::kSelect;
+  /// Fraction of scanned rows surviving the WHERE clause, in (0, 1].
+  double selectivity = 1.0;
+  /// Fraction of row width kept by the SELECT list, in (0, 1].
+  double projection = 1.0;
+  /// Number of shuffle joins in the query (each adds a stage).
+  int joins = 0;
+  /// True when the query aggregates (GROUP BY / COUNT / SUM).
+  bool group_by = false;
+  /// Aggregation output as a fraction of its input (cardinality of the
+  /// grouping keys), in (0, 1]. Ignored unless group_by.
+  double aggregation_ratio = 0.01;
+  /// True adds a final single-wave ORDER BY stage.
+  bool order_by = false;
+};
+
+/// Compiles a Hive query to its MapReduce stage chain. Fails on
+/// out-of-range ratios. The resulting chain's name word is "select",
+/// "insert", or "from" per the query kind - the first words Figure 10
+/// attributes to Hive.
+StatusOr<JobChain> CompileHiveQuery(const HiveQuerySpec& spec);
+
+/// Renders the (approximate) HiveQL text of a spec, for job names and
+/// reports.
+std::string HiveQueryText(const HiveQuerySpec& spec);
+
+}  // namespace swim::frameworks
+
+#endif  // SWIM_FRAMEWORKS_HIVE_H_

@@ -1,0 +1,87 @@
+#include "frameworks/pig.h"
+
+namespace swim::frameworks {
+namespace {
+
+bool IsBlocking(PigOp::Kind kind) {
+  return kind == PigOp::Kind::kGroup || kind == PigOp::Kind::kCogroup ||
+         kind == PigOp::Kind::kDistinct;
+}
+
+}  // namespace
+
+StatusOr<JobChain> CompilePigScript(const PigScriptSpec& spec) {
+  if (spec.ops.size() < 2) {
+    return InvalidArgumentError("script needs at least LOAD and STORE");
+  }
+  if (spec.ops.front().kind != PigOp::Kind::kLoad) {
+    return InvalidArgumentError("script must start with LOAD");
+  }
+  if (spec.ops.back().kind != PigOp::Kind::kStore) {
+    return InvalidArgumentError("script must end with STORE");
+  }
+  for (const auto& op : spec.ops) {
+    if (op.keep_ratio <= 0.0 || op.keep_ratio > 1.5) {
+      return InvalidArgumentError("keep_ratio must be in (0, 1.5]");
+    }
+  }
+
+  JobChain chain;
+  chain.framework = trace::Framework::kPig;
+  chain.name_word = "piglatin";
+  chain.program = "pig script, " + std::to_string(spec.ops.size()) + " ops";
+
+  // Fuse map-side operators; cut a stage at each blocking operator.
+  double pending_map_keep = 1.0;  // map-side reduction accumulated so far
+  for (size_t i = 1; i < spec.ops.size(); ++i) {
+    const PigOp& op = spec.ops[i];
+    if (op.kind == PigOp::Kind::kFilter ||
+        op.kind == PigOp::Kind::kForEach) {
+      pending_map_keep *= op.keep_ratio;
+    } else if (IsBlocking(op.kind)) {
+      StageSpec stage;
+      stage.role = op.kind == PigOp::Kind::kCogroup ? "cogroup" : "group";
+      stage.shuffle_ratio = pending_map_keep;
+      stage.output_ratio = pending_map_keep * op.keep_ratio;
+      stage.map_seconds_per_gb = 24.0;
+      stage.reduce_seconds_per_gb = 30.0;
+      chain.stages.push_back(stage);
+      pending_map_keep = 1.0;
+    }
+  }
+  if (chain.stages.empty()) {
+    StageSpec stage;
+    stage.role = "map-only pipeline";
+    stage.map_only = true;
+    stage.output_ratio = pending_map_keep;
+    stage.map_seconds_per_gb = 20.0;
+    chain.stages.push_back(stage);
+  } else if (pending_map_keep != 1.0) {
+    // Trailing map-side ops fold into the last stage's output.
+    chain.stages.back().output_ratio *= pending_map_keep;
+  }
+  return chain;
+}
+
+PigScriptSpec SimplePigPipeline(double filter_keep, double group_keep) {
+  PigScriptSpec spec;
+  spec.ops = {{PigOp::Kind::kLoad, 1.0},
+              {PigOp::Kind::kFilter, filter_keep},
+              {PigOp::Kind::kGroup, group_keep},
+              {PigOp::Kind::kStore, 1.0}};
+  return spec;
+}
+
+PigScriptSpec PigJoinScript(double filter_keep, double join_keep,
+                            double group_keep) {
+  PigScriptSpec spec;
+  spec.ops = {{PigOp::Kind::kLoad, 1.0},
+              {PigOp::Kind::kFilter, filter_keep},
+              {PigOp::Kind::kCogroup, join_keep},
+              {PigOp::Kind::kForEach, 0.8},
+              {PigOp::Kind::kGroup, group_keep},
+              {PigOp::Kind::kStore, 1.0}};
+  return spec;
+}
+
+}  // namespace swim::frameworks

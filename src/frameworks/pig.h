@@ -1,0 +1,48 @@
+#ifndef SWIM_FRAMEWORKS_PIG_H_
+#define SWIM_FRAMEWORKS_PIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "frameworks/query_plan.h"
+
+namespace swim::frameworks {
+
+/// One operator of a simplified Pig Latin dataflow script.
+struct PigOp {
+  enum class Kind {
+    kLoad,      // LOAD 'path'
+    kFilter,    // FILTER ... BY ... (map-side)
+    kForEach,   // FOREACH ... GENERATE ... (map-side projection)
+    kGroup,     // GROUP ... BY ...        (blocking: new MR stage)
+    kCogroup,   // COGROUP / JOIN          (blocking: new MR stage)
+    kDistinct,  // DISTINCT                (blocking)
+    kStore,     // STORE ... INTO 'path'
+  };
+  Kind kind = Kind::kLoad;
+  /// Data kept by this operator relative to its input (selectivity for
+  /// FILTER, width for FOREACH, key cardinality for GROUP/DISTINCT).
+  double keep_ratio = 1.0;
+};
+
+/// An ordered operator list: LOAD ... STORE.
+struct PigScriptSpec {
+  std::vector<PigOp> ops;
+};
+
+/// Compiles a script the way Pig's MRCompiler of the era did: map-side
+/// operators (FILTER/FOREACH) fuse into the current stage; each blocking
+/// operator (GROUP/COGROUP/DISTINCT) cuts a stage boundary and becomes
+/// that stage's shuffle. A script with no blocking operator compiles to
+/// one map-only job. The script must start with LOAD and end with STORE.
+StatusOr<JobChain> CompilePigScript(const PigScriptSpec& spec);
+
+/// Convenience builders for common shapes.
+PigScriptSpec SimplePigPipeline(double filter_keep, double group_keep);
+PigScriptSpec PigJoinScript(double filter_keep, double join_keep,
+                            double group_keep);
+
+}  // namespace swim::frameworks
+
+#endif  // SWIM_FRAMEWORKS_PIG_H_

@@ -1,0 +1,21 @@
+#include "frameworks/query_plan.h"
+
+namespace swim::frameworks {
+
+double ChainOutputRatio(const JobChain& chain) {
+  double ratio = 1.0;
+  for (const auto& stage : chain.stages) ratio *= stage.output_ratio;
+  return ratio;
+}
+
+double ChainShuffleRatio(const JobChain& chain) {
+  double input_scale = 1.0;
+  double shuffle = 0.0;
+  for (const auto& stage : chain.stages) {
+    shuffle += input_scale * stage.shuffle_ratio;
+    input_scale *= stage.output_ratio;
+  }
+  return shuffle;
+}
+
+}  // namespace swim::frameworks

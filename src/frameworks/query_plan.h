@@ -1,0 +1,51 @@
+#ifndef SWIM_FRAMEWORKS_QUERY_PLAN_H_
+#define SWIM_FRAMEWORKS_QUERY_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/frameworks.h"
+
+namespace swim::frameworks {
+
+/// One MapReduce stage produced by compiling a query-layer program. Data
+/// flow is expressed relative to the stage's input bytes, so a chain can
+/// be instantiated at any input scale.
+struct StageSpec {
+  /// Human-readable role, e.g. "filter+project", "shuffle-join".
+  std::string role;
+  bool map_only = false;
+  /// Shuffle bytes as a fraction of stage input (0 for map-only stages).
+  double shuffle_ratio = 0.0;
+  /// Output bytes as a fraction of stage input.
+  double output_ratio = 1.0;
+  /// Compute cost: task-seconds per GB of stage input (map side).
+  double map_seconds_per_gb = 20.0;
+  /// Reduce task-seconds per GB of shuffle data.
+  double reduce_seconds_per_gb = 25.0;
+};
+
+/// A compiled program: an ordered chain of MapReduce stages. Stage k+1
+/// consumes stage k's output - the multi-job workflow structure the paper
+/// says future tracing should expose (section 8: "tracing capabilities at
+/// the Hive, Pig, and HBase level should be improved").
+struct JobChain {
+  trace::Framework framework = trace::Framework::kNative;
+  /// First word of the job names this chain emits ("insert", "select",
+  /// "from", "piglatin", "oozie", ...), matching section 6.1's analysis.
+  std::string name_word;
+  /// Free-text description of the source program, for reports.
+  std::string program;
+  std::vector<StageSpec> stages;
+};
+
+/// End-to-end data flow of a chain: output of the last stage as a
+/// fraction of the chain's input.
+double ChainOutputRatio(const JobChain& chain);
+
+/// Total shuffle volume across stages per byte of chain input.
+double ChainShuffleRatio(const JobChain& chain);
+
+}  // namespace swim::frameworks
+
+#endif  // SWIM_FRAMEWORKS_QUERY_PLAN_H_

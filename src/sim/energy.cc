@@ -1,0 +1,55 @@
+#include "sim/energy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swim::sim {
+
+StatusOr<EnergyReport> EstimateEnergy(const ReplayResult& replay,
+                                      const ClusterConfig& cluster,
+                                      const EnergyModel& model) {
+  if (replay.hourly_occupancy.empty()) {
+    return InvalidArgumentError("replay has no occupancy data");
+  }
+  if (model.idle_watts < 0.0 || model.busy_watts < model.idle_watts) {
+    return InvalidArgumentError("need 0 <= idle_watts <= busy_watts");
+  }
+  const double slots_per_node =
+      static_cast<double>(cluster.map_slots_per_node +
+                          cluster.reduce_slots_per_node);
+  const double total_slots =
+      static_cast<double>(cluster.total_map_slots() +
+                          cluster.total_reduce_slots());
+  if (total_slots <= 0.0) {
+    return InvalidArgumentError("cluster has no slots");
+  }
+
+  EnergyReport report;
+  double occupancy_sum = 0.0;
+  for (double occupied_slots : replay.hourly_occupancy) {
+    double utilization =
+        std::clamp(occupied_slots / total_slots, 0.0, 1.0);
+    occupancy_sum += utilization;
+    // Always-on: all nodes idle-draw plus the utilization-proportional
+    // dynamic part.
+    double cluster_watts =
+        static_cast<double>(cluster.nodes) *
+        (model.idle_watts +
+         (model.busy_watts - model.idle_watts) * utilization);
+    report.always_on_kwh += cluster_watts / 1000.0;  // x 1 hour
+    // Power-proportional: only ceil(occupied/slots_per_node) nodes on,
+    // each at busy watts.
+    double nodes_needed = std::ceil(occupied_slots / slots_per_node);
+    report.power_proportional_kwh +=
+        nodes_needed * model.busy_watts / 1000.0;
+  }
+  report.mean_occupancy =
+      occupancy_sum / static_cast<double>(replay.hourly_occupancy.size());
+  if (report.always_on_kwh > 0.0) {
+    report.savings_fraction =
+        1.0 - report.power_proportional_kwh / report.always_on_kwh;
+  }
+  return report;
+}
+
+}  // namespace swim::sim

@@ -1,0 +1,42 @@
+#ifndef SWIM_SIM_ENERGY_H_
+#define SWIM_SIM_ENERGY_H_
+
+#include "common/statusor.h"
+#include "sim/replay.h"
+
+namespace swim::sim {
+
+/// Simple node power model: a node draws `idle_watts` when on and ramps
+/// linearly to `busy_watts` at full slot occupancy.
+struct EnergyModel {
+  double idle_watts = 150.0;
+  double busy_watts = 300.0;
+};
+
+/// Energy accounting over a replay's hourly occupancy - quantifying the
+/// paper's section 5.2 observation that bursty, low-median load means
+/// "mechanisms for conserving energy will be beneficial during periods of
+/// low utilization" (the Sierra / MapReduce-energy line of work it cites).
+struct EnergyReport {
+  /// kWh with every node powered the whole time (the Hadoop default;
+  /// HDFS replication pins nodes on).
+  double always_on_kwh = 0.0;
+  /// kWh with an ideal power-proportional cluster: each hour only the
+  /// nodes needed for that hour's occupancy draw power (at busy watts),
+  /// everything else is off.
+  double power_proportional_kwh = 0.0;
+  /// 1 - proportional/always_on.
+  double savings_fraction = 0.0;
+  /// Mean fraction of slots occupied across the replayed span.
+  double mean_occupancy = 0.0;
+};
+
+/// Estimates both energy figures from a replay result. Fails when the
+/// replay produced no occupancy data.
+StatusOr<EnergyReport> EstimateEnergy(const ReplayResult& replay,
+                                      const ClusterConfig& cluster,
+                                      const EnergyModel& model = {});
+
+}  // namespace swim::sim
+
+#endif  // SWIM_SIM_ENERGY_H_

@@ -1,0 +1,319 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "stats/descriptive.h"
+
+namespace swim::sim {
+namespace {
+
+/// Tasks of a kind within a job are homogeneous, so a wave of them is
+/// simulated as one event carrying a count - this keeps event volume
+/// proportional to scheduling decisions, not task counts, and is what lets
+/// month-long million-job traces replay in seconds.
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;  // FIFO tie-break for simultaneous events
+  enum class Kind { kArrival, kTasksDone } kind = Kind::kArrival;
+  size_t job_index = 0;
+  TaskKind task_kind = TaskKind::kMap;
+  int64_t count = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Integrates busy-slot counts into hourly buckets.
+class OccupancyMeter {
+ public:
+  void Advance(double now, int64_t busy_slots, std::vector<double>& buckets) {
+    if (now <= last_time_) {
+      last_time_ = std::max(last_time_, now);
+      return;
+    }
+    double t = last_time_;
+    while (t < now) {
+      size_t hour = static_cast<size_t>(t / 3600.0);
+      double hour_end = (static_cast<double>(hour) + 1.0) * 3600.0;
+      double slice_end = std::min(hour_end, now);
+      if (buckets.size() <= hour) buckets.resize(hour + 1, 0.0);
+      buckets[hour] += static_cast<double>(busy_slots) * (slice_end - t);
+      t = slice_end;
+    }
+    busy_slot_seconds_ += static_cast<double>(busy_slots) * (now - last_time_);
+    last_time_ = now;
+  }
+
+  double busy_slot_seconds() const { return busy_slot_seconds_; }
+
+ private:
+  double last_time_ = 0.0;
+  double busy_slot_seconds_ = 0.0;
+};
+
+}  // namespace
+
+double ReplayResult::LatencyQuantile(bool small_jobs, double p) const {
+  std::vector<double> latencies;
+  for (const auto& o : outcomes) {
+    if (o.is_small == small_jobs) latencies.push_back(o.latency);
+  }
+  return stats::Quantile(std::move(latencies), p);
+}
+
+double ReplayResult::MeanSlowdown(bool small_jobs) const {
+  double total = 0.0;
+  size_t count = 0;
+  for (const auto& o : outcomes) {
+    if (o.is_small == small_jobs) {
+      total += o.Slowdown();
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+size_t ReplayResult::CountJobs(bool small_jobs) const {
+  size_t count = 0;
+  for (const auto& o : outcomes) {
+    if (o.is_small == small_jobs) ++count;
+  }
+  return count;
+}
+
+StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
+                                   const ReplayOptions& options) {
+  if (trace.empty()) return InvalidArgumentError("empty trace");
+  if (options.cluster.nodes <= 0 || options.cluster.map_slots_per_node <= 0 ||
+      options.cluster.reduce_slots_per_node < 0) {
+    return InvalidArgumentError("invalid cluster configuration");
+  }
+  if (options.max_tasks_per_job < 1) {
+    return InvalidArgumentError("max_tasks_per_job must be >= 1");
+  }
+  std::unique_ptr<Scheduler> scheduler = MakeScheduler(options.scheduler);
+  Pcg32 rng(options.seed, /*stream=*/0x51e9);
+
+  // Build the job table (trace.jobs() is submit-sorted).
+  std::vector<SimJob> jobs;
+  jobs.reserve(trace.size());
+  for (const auto& record : trace.jobs()) {
+    SimJob job;
+    job.record = &record;
+    job.submit_time = record.submit_time;
+    job.is_small = record.TotalBytes() < options.small_job_bytes;
+    job.maps_total = std::min(std::max<int64_t>(record.map_tasks, 1),
+                              options.max_tasks_per_job);
+    job.map_task_duration = std::max(
+        record.map_task_seconds / static_cast<double>(job.maps_total), 1e-3);
+    job.reduces_total =
+        std::min(record.reduce_tasks, options.max_tasks_per_job);
+    if (job.reduces_total > 0) {
+      job.reduce_task_duration =
+          std::max(record.reduce_task_seconds /
+                       static_cast<double>(job.reduces_total),
+                   1e-3);
+    }
+    jobs.push_back(job);
+  }
+
+  // Workflow dependencies: resolve job ids to indices and wire parent
+  // counters / child lists.
+  std::vector<std::vector<size_t>> children(jobs.size());
+  if (!options.dependencies.empty()) {
+    std::unordered_map<uint64_t, size_t> index_of;
+    index_of.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      index_of[jobs[i].record->job_id] = i;
+    }
+    for (const auto& [child_id, parent_ids] : options.dependencies) {
+      auto child_it = index_of.find(child_id);
+      if (child_it == index_of.end()) {
+        return InvalidArgumentError("dependency references unknown job " +
+                                    std::to_string(child_id));
+      }
+      for (uint64_t parent_id : parent_ids) {
+        auto parent_it = index_of.find(parent_id);
+        if (parent_it == index_of.end()) {
+          return InvalidArgumentError("dependency references unknown job " +
+                                      std::to_string(parent_id));
+        }
+        ++jobs[child_it->second].unfinished_parents;
+        children[parent_it->second].push_back(child_it->second);
+      }
+    }
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+  uint64_t seq = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    queue.push(Event{jobs[i].submit_time, seq++, Event::Kind::kArrival, i,
+                     TaskKind::kMap, 0});
+  }
+
+  const int64_t total_map_slots = options.cluster.total_map_slots();
+  const int64_t total_reduce_slots = options.cluster.total_reduce_slots();
+  int64_t free_map_slots = total_map_slots;
+  int64_t free_reduce_slots = total_reduce_slots;
+  SchedulerContext context;
+  std::vector<size_t> active;  // arrived, unfinished job indices
+  OccupancyMeter meter;
+  std::vector<double> occupancy_slot_seconds;
+
+  ReplayResult result;
+  result.scheduler = scheduler->name();
+
+  // Launches `count` tasks of one kind as at most two events (regular +
+  // straggling portions).
+  auto launch_batch = [&](size_t job_index, TaskKind kind, double now,
+                          int64_t count) {
+    SimJob& job = jobs[job_index];
+    double duration;
+    if (kind == TaskKind::kMap) {
+      job.maps_launched += count;
+      free_map_slots -= count;
+      if (!job.is_small) context.large_running_maps += count;
+      duration = job.map_task_duration;
+    } else {
+      job.reduces_launched += count;
+      free_reduce_slots -= count;
+      if (!job.is_small) context.large_running_reduces += count;
+      duration = job.reduce_task_duration;
+    }
+    int64_t stragglers = 0;
+    if (options.straggler_probability > 0.0) {
+      if (count <= 16) {
+        for (int64_t t = 0; t < count; ++t) {
+          if (rng.NextBernoulli(options.straggler_probability)) ++stragglers;
+        }
+      } else {
+        stragglers = static_cast<int64_t>(std::llround(
+            static_cast<double>(count) * options.straggler_probability));
+      }
+    }
+    if (job.first_launch_time < 0.0) job.first_launch_time = now;
+    if (count - stragglers > 0) {
+      queue.push(Event{now + duration, seq++, Event::Kind::kTasksDone,
+                       job_index, kind, count - stragglers});
+    }
+    if (stragglers > 0) {
+      double effective_factor = options.straggler_factor;
+      int64_t siblings =
+          kind == TaskKind::kMap ? job.maps_total : job.reduces_total;
+      if (options.speculative_execution && siblings >= 2) {
+        // Siblings expose the straggler; a backup launched when they
+        // finish completes at ~2x the normal duration.
+        effective_factor = std::min(effective_factor, 2.0);
+      }
+      queue.push(Event{now + duration * effective_factor, seq++,
+                       Event::Kind::kTasksDone, job_index, kind, stragglers});
+    }
+  };
+
+  std::vector<size_t> runnable;  // reused scratch buffer
+  auto grant_kind = [&](TaskKind kind, double now) -> bool {
+    int64_t& free_slots =
+        kind == TaskKind::kMap ? free_map_slots : free_reduce_slots;
+    int64_t total_slots =
+        kind == TaskKind::kMap ? total_map_slots : total_reduce_slots;
+    if (free_slots <= 0) return false;
+    runnable.clear();
+    for (size_t index : active) {
+      if (jobs[index].HasRunnable(kind)) runnable.push_back(index);
+    }
+    if (runnable.empty()) return false;
+    int pick = scheduler->PickJob(jobs, runnable, kind,
+                                  static_cast<int>(total_slots), context);
+    if (pick < 0) return false;
+    SimJob& job = jobs[pick];
+    int64_t remaining = kind == TaskKind::kMap
+                            ? job.maps_total - job.maps_launched
+                            : job.reduces_total - job.reduces_launched;
+    // Fair share per grant round: no single pick absorbs every free slot
+    // while other jobs are runnable.
+    int64_t batch =
+        std::max<int64_t>(1, free_slots / static_cast<int64_t>(
+                                              runnable.size()));
+    batch = std::min({batch, remaining, free_slots});
+    batch = std::min(
+        batch, scheduler->BatchLimit(jobs, pick, kind,
+                                     static_cast<int>(total_slots), context));
+    if (batch < 1) return false;
+    launch_batch(static_cast<size_t>(pick), kind, now, batch);
+    return true;
+  };
+
+  auto schedule_loop = [&](double now) {
+    bool granted = true;
+    while (granted) {
+      granted = false;
+      granted |= grant_kind(TaskKind::kMap, now);
+      granted |= grant_kind(TaskKind::kReduce, now);
+    }
+  };
+
+  double last_finish = 0.0;
+  double first_submit = jobs.front().submit_time;
+  while (!queue.empty()) {
+    Event event = queue.top();
+    queue.pop();
+    int64_t busy = (total_map_slots - free_map_slots) +
+                   (total_reduce_slots - free_reduce_slots);
+    meter.Advance(event.time, busy, occupancy_slot_seconds);
+
+    SimJob& job = jobs[event.job_index];
+    if (event.kind == Event::Kind::kArrival) {
+      active.push_back(event.job_index);
+    } else {
+      if (event.task_kind == TaskKind::kMap) {
+        job.maps_finished += event.count;
+        free_map_slots += event.count;
+        if (!job.is_small) context.large_running_maps -= event.count;
+      } else {
+        job.reduces_finished += event.count;
+        free_reduce_slots += event.count;
+        if (!job.is_small) context.large_running_reduces -= event.count;
+      }
+      if (job.Finished() && job.finish_time < 0.0) {
+        job.finish_time = event.time;
+        last_finish = std::max(last_finish, event.time);
+        active.erase(std::find(active.begin(), active.end(), event.job_index));
+        for (size_t child : children[event.job_index]) {
+          --jobs[child].unfinished_parents;
+        }
+        JobOutcome outcome;
+        outcome.job_id = job.record->job_id;
+        outcome.submit_time = job.submit_time;
+        outcome.latency = job.finish_time - job.submit_time;
+        outcome.ideal_latency = job.IdealLatency();
+        outcome.is_small = job.is_small;
+        result.outcomes.push_back(outcome);
+      }
+    }
+    schedule_loop(event.time);
+  }
+
+  for (const SimJob& job : jobs) {
+    if (job.finish_time < 0.0) ++result.unfinished_jobs;
+  }
+  result.makespan = std::max(0.0, last_finish - first_submit);
+  result.hourly_occupancy.reserve(occupancy_slot_seconds.size());
+  for (double slot_seconds : occupancy_slot_seconds) {
+    result.hourly_occupancy.push_back(slot_seconds / 3600.0);
+  }
+  double capacity =
+      static_cast<double>(total_map_slots + total_reduce_slots) *
+      std::max(result.makespan, 1.0);
+  result.utilization = meter.busy_slot_seconds() / capacity;
+  return result;
+}
+
+}  // namespace swim::sim

@@ -1,0 +1,102 @@
+#ifndef SWIM_SIM_REPLAY_H_
+#define SWIM_SIM_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+
+namespace swim::sim {
+
+/// Hadoop 1.x-style slot cluster (the paper's trace era): each node offers
+/// fixed map and reduce slots; the TaskTracker heartbeat / JobTracker
+/// assignment loop is abstracted into instantaneous slot grants.
+struct ClusterConfig {
+  int nodes = 100;
+  int map_slots_per_node = 8;
+  int reduce_slots_per_node = 4;
+
+  int total_map_slots() const { return nodes * map_slots_per_node; }
+  int total_reduce_slots() const { return nodes * reduce_slots_per_node; }
+};
+
+struct ReplayOptions {
+  ClusterConfig cluster;
+  /// "fifo", "fair", or "two-tier".
+  std::string scheduler = "fifo";
+  /// Tasks per job are capped by merging (durations scale up) so that
+  /// replaying month-long production traces stays tractable; occupancy in
+  /// slot-seconds is preserved exactly.
+  int64_t max_tasks_per_job = 2000;
+  /// Straggler injection: each task independently runs `straggler_factor`x
+  /// longer with this probability (section 6.2 discusses why stragglers
+  /// interact badly with single-wave small jobs).
+  double straggler_probability = 0.0;
+  double straggler_factor = 5.0;
+  /// Hadoop-style speculative execution: when a job has at least two
+  /// tasks of a kind, a straggling task is detected by comparison with
+  /// its siblings and a backup launched once they finish, capping the
+  /// straggler's effective duration at ~2x normal. Jobs with a single
+  /// task of a kind get NO protection - the paper's section 6.2 point
+  /// that "if the only task of a job runs slowly, it becomes impossible
+  /// to tell whether the task is inherently slow, or abnormally slow".
+  bool speculative_execution = false;
+  uint64_t seed = 19;
+  /// Jobs with < this much total data count as "small" (interactive tier).
+  double small_job_bytes = 10e9;
+  /// Workflow dependencies: job_id -> prerequisite job_ids (earlier stages
+  /// of the same Hive query or Oozie workflow). A job becomes runnable
+  /// only after its submit time AND all parents finished. Unknown job ids
+  /// are rejected; dependency cycles stall their jobs (reported via
+  /// ReplayResult::unfinished_jobs rather than hanging).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> dependencies;
+};
+
+/// Outcome of one replayed job.
+struct JobOutcome {
+  uint64_t job_id = 0;
+  double submit_time = 0.0;
+  /// Queueing + execution time in the simulated cluster.
+  double latency = 0.0;
+  /// One-wave lower bound (unlimited slots).
+  double ideal_latency = 0.0;
+  bool is_small = false;
+
+  double Slowdown() const {
+    return ideal_latency > 0.0 ? latency / ideal_latency : 1.0;
+  }
+};
+
+struct ReplayResult {
+  std::string scheduler;
+  std::vector<JobOutcome> outcomes;
+  /// Jobs that never became runnable (unsatisfiable dependencies).
+  size_t unfinished_jobs = 0;
+  /// Average occupied slots (map + reduce) per hour of simulated time -
+  /// the paper's Figure 7 fourth column ("utilization in average active
+  /// slots").
+  std::vector<double> hourly_occupancy;
+  double makespan = 0.0;
+  /// Busy slot-seconds / (total slots x makespan).
+  double utilization = 0.0;
+
+  /// Latency quantile over small or large jobs (p in [0,1]).
+  double LatencyQuantile(bool small_jobs, double p) const;
+  double MeanSlowdown(bool small_jobs) const;
+  size_t CountJobs(bool small_jobs) const;
+};
+
+/// Replays a trace through the discrete-event cluster simulator: jobs
+/// arrive at their submit times, tasks occupy slots under the chosen
+/// scheduling policy, reduces start when the map stage completes.
+/// Deterministic in (trace, options).
+StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
+                                   const ReplayOptions& options = {});
+
+}  // namespace swim::sim
+
+#endif  // SWIM_SIM_REPLAY_H_

@@ -1,0 +1,90 @@
+#include "sim/scheduler.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace swim::sim {
+int FifoScheduler::PickJob(const std::vector<SimJob>& jobs,
+                           const std::vector<size_t>& runnable,
+                           TaskKind /*kind*/, int /*total_slots_of_kind*/,
+                           const SchedulerContext& /*context*/) {
+  int best = -1;
+  double earliest = std::numeric_limits<double>::max();
+  for (size_t index : runnable) {
+    if (jobs[index].submit_time < earliest) {
+      earliest = jobs[index].submit_time;
+      best = static_cast<int>(index);
+    }
+  }
+  return best;
+}
+
+int FairScheduler::PickJob(const std::vector<SimJob>& jobs,
+                           const std::vector<size_t>& runnable,
+                           TaskKind /*kind*/, int /*total_slots_of_kind*/,
+                           const SchedulerContext& /*context*/) {
+  int best = -1;
+  int64_t fewest = std::numeric_limits<int64_t>::max();
+  double earliest = std::numeric_limits<double>::max();
+  for (size_t index : runnable) {
+    const SimJob& job = jobs[index];
+    int64_t held = job.running_tasks();
+    if (held < fewest || (held == fewest && job.submit_time < earliest)) {
+      fewest = held;
+      earliest = job.submit_time;
+      best = static_cast<int>(index);
+    }
+  }
+  return best;
+}
+
+int TwoTierScheduler::PickJob(const std::vector<SimJob>& jobs,
+                              const std::vector<size_t>& runnable,
+                              TaskKind kind, int total_slots_of_kind,
+                              const SchedulerContext& context) {
+  // Small tier first, FIFO within tier.
+  int best_small = -1;
+  int best_large = -1;
+  double earliest_small = std::numeric_limits<double>::max();
+  double earliest_large = std::numeric_limits<double>::max();
+  int64_t large_running = context.LargeRunning(kind);
+  for (size_t index : runnable) {
+    const SimJob& job = jobs[index];
+    if (job.is_small) {
+      if (job.submit_time < earliest_small) {
+        earliest_small = job.submit_time;
+        best_small = static_cast<int>(index);
+      }
+    } else if (job.submit_time < earliest_large) {
+      earliest_large = job.submit_time;
+      best_large = static_cast<int>(index);
+    }
+  }
+  if (best_small >= 0) return best_small;
+  int64_t large_cap = static_cast<int64_t>(
+      large_share_ * static_cast<double>(total_slots_of_kind));
+  if (best_large >= 0 && large_running < large_cap) return best_large;
+  return -1;
+}
+
+int64_t TwoTierScheduler::BatchLimit(const std::vector<SimJob>& jobs,
+                                     int picked, TaskKind kind,
+                                     int total_slots_of_kind,
+                                     const SchedulerContext& context) {
+  if (jobs[picked].is_small) return std::numeric_limits<int64_t>::max();
+  int64_t cap = static_cast<int64_t>(
+      large_share_ * static_cast<double>(total_slots_of_kind));
+  return std::max<int64_t>(0, cap - context.LargeRunning(kind));
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& policy) {
+  std::string normalized = ToLower(policy);
+  if (normalized == "fair") return std::make_unique<FairScheduler>();
+  if (normalized == "two-tier" || normalized == "twotier") {
+    return std::make_unique<TwoTierScheduler>();
+  }
+  return std::make_unique<FifoScheduler>();
+}
+
+}  // namespace swim::sim

@@ -1,0 +1,97 @@
+#ifndef SWIM_SIM_SCHEDULER_H_
+#define SWIM_SIM_SCHEDULER_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim_job.h"
+
+namespace swim::sim {
+
+/// Cheap aggregate state the engine maintains so policies need not scan
+/// the full job table on every grant.
+struct SchedulerContext {
+  int64_t large_running_maps = 0;
+  int64_t large_running_reduces = 0;
+
+  int64_t LargeRunning(TaskKind kind) const {
+    return kind == TaskKind::kMap ? large_running_maps
+                                  : large_running_reduces;
+  }
+};
+
+/// Slot-granting policy: given the job table and the indices of jobs with
+/// a runnable task of `kind`, returns the index (into `jobs`) of the job to
+/// grant the next free slot, or -1 to leave the slot idle. Called once per
+/// grant, so policies can be stateful.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual int PickJob(const std::vector<SimJob>& jobs,
+                      const std::vector<size_t>& runnable, TaskKind kind,
+                      int total_slots_of_kind,
+                      const SchedulerContext& context) = 0;
+
+  /// Upper bound on how many tasks the engine may grant the picked job in
+  /// one batch. Policies with quotas (two-tier) override this; the default
+  /// is unlimited.
+  virtual int64_t BatchLimit(const std::vector<SimJob>& /*jobs*/,
+                             int /*picked*/, TaskKind /*kind*/,
+                             int /*total_slots_of_kind*/,
+                             const SchedulerContext& /*context*/) {
+    return std::numeric_limits<int64_t>::max();
+  }
+};
+
+/// Hadoop's default: strict submission order; an early large job starves
+/// everything behind it.
+class FifoScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "FIFO"; }
+  int PickJob(const std::vector<SimJob>& jobs,
+              const std::vector<size_t>& runnable, TaskKind kind,
+              int total_slots_of_kind,
+              const SchedulerContext& context) override;
+};
+
+/// Fair scheduler: grant the slot to the runnable job currently holding
+/// the fewest slots (ties to the earliest submission).
+class FairScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Fair"; }
+  int PickJob(const std::vector<SimJob>& jobs,
+              const std::vector<size_t>& runnable, TaskKind kind,
+              int total_slots_of_kind,
+              const SchedulerContext& context) override;
+};
+
+/// The paper's section 6.2 proposal: split the cluster into a performance
+/// tier for small (interactive) jobs and a capacity tier for large ones.
+/// Large jobs may hold at most `large_share` of each slot pool; small jobs
+/// are never blocked by large ones.
+class TwoTierScheduler : public Scheduler {
+ public:
+  explicit TwoTierScheduler(double large_share = 0.7)
+      : large_share_(large_share) {}
+  std::string name() const override { return "TwoTier"; }
+  int PickJob(const std::vector<SimJob>& jobs,
+              const std::vector<size_t>& runnable, TaskKind kind,
+              int total_slots_of_kind,
+              const SchedulerContext& context) override;
+  int64_t BatchLimit(const std::vector<SimJob>& jobs, int picked,
+                     TaskKind kind, int total_slots_of_kind,
+                     const SchedulerContext& context) override;
+
+ private:
+  double large_share_;
+};
+
+/// Factory by policy name ("fifo", "fair", "two-tier").
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& policy);
+
+}  // namespace swim::sim
+
+#endif  // SWIM_SIM_SCHEDULER_H_

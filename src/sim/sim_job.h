@@ -1,0 +1,67 @@
+#ifndef SWIM_SIM_SIM_JOB_H_
+#define SWIM_SIM_SIM_JOB_H_
+
+#include <cstdint>
+
+#include "trace/job_record.h"
+
+namespace swim::sim {
+
+enum class TaskKind { kMap, kReduce };
+
+/// Runtime state of one job inside the simulator. Tasks of a kind are
+/// homogeneous (duration = task_seconds / task_count), matching the
+/// information available in per-job traces.
+struct SimJob {
+  const trace::JobRecord* record = nullptr;
+
+  int64_t maps_total = 0;
+  int64_t maps_launched = 0;
+  int64_t maps_finished = 0;
+  int64_t reduces_total = 0;
+  int64_t reduces_launched = 0;
+  int64_t reduces_finished = 0;
+
+  double map_task_duration = 0.0;
+  double reduce_task_duration = 0.0;
+
+  double submit_time = 0.0;
+  double first_launch_time = -1.0;
+  double finish_time = -1.0;
+
+  /// Small jobs (< 10 GB total data in the paper's dichotomy) are the
+  /// interactive tier.
+  bool is_small = false;
+
+  /// Workflow support: number of prerequisite jobs (earlier stages of the
+  /// same Hive query / Oozie workflow) that have not finished yet. A job
+  /// with pending parents is held even after its submit time.
+  int64_t unfinished_parents = 0;
+
+  int64_t maps_running() const { return maps_launched - maps_finished; }
+  int64_t reduces_running() const {
+    return reduces_launched - reduces_finished;
+  }
+  int64_t running_tasks() const { return maps_running() + reduces_running(); }
+
+  bool maps_done() const { return maps_finished == maps_total; }
+  bool HasRunnable(TaskKind kind) const {
+    if (unfinished_parents > 0) return false;
+    if (kind == TaskKind::kMap) return maps_launched < maps_total;
+    // Reduces wait for the map stage (no slow-start overlap modeled).
+    return maps_done() && reduces_launched < reduces_total;
+  }
+  bool Finished() const {
+    return maps_done() && reduces_finished == reduces_total;
+  }
+
+  /// Lower bound on latency with unlimited slots: one wave of maps
+  /// followed by one wave of reduces.
+  double IdealLatency() const {
+    return map_task_duration + reduce_task_duration;
+  }
+};
+
+}  // namespace swim::sim
+
+#endif  // SWIM_SIM_SIM_JOB_H_

@@ -1,0 +1,45 @@
+#include "stats/burstiness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+
+namespace swim::stats {
+
+BurstinessProfile::BurstinessProfile(const std::vector<double>& series) {
+  sorted_ = series;
+  std::sort(sorted_.begin(), sorted_.end());
+  median_ = QuantileSorted(sorted_, 0.5);
+  if (median_ <= 0.0) {
+    // A zero median makes every ratio infinite; treat as degenerate.
+    sorted_.clear();
+    median_ = 0.0;
+  }
+}
+
+double BurstinessProfile::RatioAtPercentile(double n) const {
+  if (sorted_.empty()) return 0.0;
+  return QuantileSorted(sorted_, n / 100.0) / median_;
+}
+
+std::vector<double> BurstinessProfile::Curve() const {
+  std::vector<double> curve;
+  curve.reserve(101);
+  for (int n = 0; n <= 100; ++n) {
+    curve.push_back(RatioAtPercentile(static_cast<double>(n)));
+  }
+  return curve;
+}
+
+std::vector<double> SineReferenceSeries(double offset, size_t hours) {
+  std::vector<double> series(hours);
+  for (size_t t = 0; t < hours; ++t) {
+    series[t] = offset + std::sin(2.0 * std::numbers::pi *
+                                  static_cast<double>(t) / 24.0);
+  }
+  return series;
+}
+
+}  // namespace swim::stats

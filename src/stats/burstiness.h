@@ -1,0 +1,53 @@
+#ifndef SWIM_STATS_BURSTINESS_H_
+#define SWIM_STATS_BURSTINESS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace swim::stats {
+
+/// The paper's burstiness metric (section 5.2): for a time series of
+/// arrival rates (e.g. task-seconds submitted per hour), compute the vector
+/// of nth-percentile-to-median ratios. Plotting ratio (x) against n (y)
+/// yields "a cumulative distribution of arrival rates per time unit,
+/// normalized by the median" - a more horizontal curve is a burstier
+/// workload; a vertical line at x=1 is a constant-rate workload.
+class BurstinessProfile {
+ public:
+  /// Empty profile (every ratio reports 0).
+  BurstinessProfile() = default;
+
+  /// Builds from a (non-negative) rate series. An all-zero or empty series
+  /// produces an empty profile.
+  explicit BurstinessProfile(const std::vector<double>& series);
+
+  bool empty() const { return sorted_.empty(); }
+
+  /// nth-percentile-to-median ratio, n in [0, 100].
+  double RatioAtPercentile(double n) const;
+
+  /// Peak-to-median ratio == RatioAtPercentile(100). The paper reports this
+  /// ranging from 9:1 (FB-2010) to 260:1 across workloads.
+  double PeakToMedian() const { return RatioAtPercentile(100.0); }
+
+  double P99ToMedian() const { return RatioAtPercentile(99.0); }
+
+  double median() const { return median_; }
+
+  /// The full curve at integer percentiles 0..100 (101 points), for
+  /// plotting against a reference signal.
+  std::vector<double> Curve() const;
+
+ private:
+  std::vector<double> sorted_;
+  double median_ = 0.0;
+};
+
+/// Reference series used in the paper's Figure 8: one week of hourly
+/// samples of `offset + sin(2*pi*t/24h)`. "sine + 2" has min-max range
+/// equal to the mean; "sine + 20" has range 10% of the mean.
+std::vector<double> SineReferenceSeries(double offset, size_t hours = 168);
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_BURSTINESS_H_

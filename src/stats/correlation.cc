@@ -1,0 +1,63 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace swim::stats {
+namespace {
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(values.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    double average_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                              2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = average_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  SWIM_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  double n = static_cast<double>(x.size());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0, sum_xy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+    sum_xx += x[i] * x[i];
+    sum_yy += y[i] * y[i];
+    sum_xy += x[i] * y[i];
+  }
+  double cov = sum_xy - sum_x * sum_y / n;
+  double var_x = sum_xx - sum_x * sum_x / n;
+  double var_y = sum_yy - sum_y * sum_y / n;
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  SWIM_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
+}  // namespace swim::stats

@@ -1,0 +1,23 @@
+#ifndef SWIM_STATS_CORRELATION_H_
+#define SWIM_STATS_CORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace swim::stats {
+
+/// Pearson product-moment correlation of two equal-length series; the
+/// statistic behind the paper's Figure 9 (pairwise correlation of the
+/// hourly jobs / bytes / task-seconds submission series). Returns 0 when
+/// either series is constant or shorter than 2.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on fractional ranks; ties get
+/// average ranks).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_CORRELATION_H_

@@ -1,0 +1,96 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace swim::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - mean) * (v - mean);
+  return accum / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Median(const std::vector<double>& values) {
+  return Quantile(values, 0.5);
+}
+
+double Quantile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, p);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  double index = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(index));
+  size_t hi = static_cast<size_t>(std::ceil(index));
+  double fraction = index - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * fraction;
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  size_t count = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(count));
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary summary;
+  summary.count = values.size();
+  if (values.empty()) return summary;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  summary.mean = Mean(values);
+  summary.stddev = StdDev(values);
+  summary.min = sorted.front();
+  summary.p25 = QuantileSorted(sorted, 0.25);
+  summary.median = QuantileSorted(sorted, 0.5);
+  summary.p75 = QuantileSorted(sorted, 0.75);
+  summary.p90 = QuantileSorted(sorted, 0.90);
+  summary.p99 = QuantileSorted(sorted, 0.99);
+  summary.max = sorted.back();
+  summary.sum = Sum(values);
+  return summary;
+}
+
+}  // namespace swim::stats

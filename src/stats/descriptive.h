@@ -1,0 +1,55 @@
+#ifndef SWIM_STATS_DESCRIPTIVE_H_
+#define SWIM_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace swim::stats {
+
+/// Arithmetic mean. Returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Median (linear-interpolated). Returns 0 for an empty input.
+double Median(const std::vector<double>& values);
+
+/// p-th quantile with linear interpolation, p in [0, 1]. Returns 0 for an
+/// empty input. p outside [0,1] is clamped.
+double Quantile(std::vector<double> values, double p);
+
+/// Same as Quantile but requires `sorted` be ascending; no copy is made.
+double QuantileSorted(const std::vector<double>& sorted, double p);
+
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+double Sum(const std::vector<double>& values);
+
+/// Geometric mean of strictly positive values; zero/negative entries are
+/// skipped. Returns 0 when no positive entries exist.
+double GeometricMean(const std::vector<double>& values);
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+  double sum = 0;
+};
+
+/// One-pass descriptive summary (sorts a copy internally).
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,59 @@
+#include "stats/fourier.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+
+namespace swim::stats {
+
+std::vector<SpectralPeak> Periodogram(const std::vector<double>& series) {
+  std::vector<SpectralPeak> peaks;
+  const size_t n = series.size();
+  if (n < 4) return peaks;
+
+  double mean = Mean(series);
+  double total_power = 0.0;
+  peaks.reserve(n / 2);
+  for (size_t k = 1; k <= n / 2; ++k) {
+    double real = 0.0;
+    double imag = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      double angle = 2.0 * std::numbers::pi * static_cast<double>(k) *
+                     static_cast<double>(t) / static_cast<double>(n);
+      double centered = series[t] - mean;
+      real += centered * std::cos(angle);
+      imag -= centered * std::sin(angle);
+    }
+    SpectralPeak peak;
+    peak.period = static_cast<double>(n) / static_cast<double>(k);
+    peak.power = real * real + imag * imag;
+    total_power += peak.power;
+    peaks.push_back(peak);
+  }
+  if (total_power > 0.0) {
+    for (auto& p : peaks) p.power_fraction = p.power / total_power;
+  }
+  return peaks;
+}
+
+SpectralPeak DominantPeriod(const std::vector<double>& series) {
+  SpectralPeak best;
+  for (const auto& peak : Periodogram(series)) {
+    if (peak.power > best.power) best = peak;
+  }
+  return best;
+}
+
+double PeriodStrength(const std::vector<double>& series, double period,
+                      double tolerance) {
+  double strength = 0.0;
+  for (const auto& peak : Periodogram(series)) {
+    if (std::fabs(peak.period - period) <= tolerance) {
+      strength += peak.power_fraction;
+    }
+  }
+  return strength;
+}
+
+}  // namespace swim::stats

@@ -1,0 +1,36 @@
+#ifndef SWIM_STATS_FOURIER_H_
+#define SWIM_STATS_FOURIER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace swim::stats {
+
+/// One spectral line of a periodogram.
+struct SpectralPeak {
+  double period = 0.0;  // in samples (e.g. hours when fed hourly series)
+  double power = 0.0;   // squared magnitude, mean-removed
+  double power_fraction = 0.0;  // share of total non-DC power
+};
+
+/// Discrete-Fourier-transform periodogram of a real series (mean removed).
+/// Returns power at each frequency k = 1 .. n/2, as (period, power) pairs.
+/// O(n^2) direct evaluation - series here are hourly counts over days or
+/// months, so n is small.
+std::vector<SpectralPeak> Periodogram(const std::vector<double>& series);
+
+/// Detects periodicity the way the paper does for Figure 7 ("some workloads
+/// exhibit daily diurnal patterns, revealed by Fourier analysis"): returns
+/// the dominant spectral peak. A series shorter than 4 samples yields a
+/// zero peak.
+SpectralPeak DominantPeriod(const std::vector<double>& series);
+
+/// Strength of a specific period (e.g. 24 for diurnal in hourly data):
+/// fraction of non-DC power within +-tolerance of the period. Returns 0
+/// for degenerate inputs.
+double PeriodStrength(const std::vector<double>& series, double period,
+                      double tolerance = 2.0);
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_FOURIER_H_

@@ -1,0 +1,88 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace swim::stats {
+
+LogHistogram::LogHistogram(double lo, double hi, int bins_per_decade)
+    : log_lo_(std::log10(lo)), bins_per_decade_(bins_per_decade) {
+  SWIM_CHECK_GT(lo, 0.0);
+  SWIM_CHECK_GT(hi, lo);
+  SWIM_CHECK_GE(bins_per_decade, 1);
+  double decades = std::log10(hi) - log_lo_;
+  size_t regular = static_cast<size_t>(std::ceil(decades * bins_per_decade));
+  counts_.assign(regular + 2, 0.0);  // + underflow + overflow
+}
+
+void LogHistogram::Add(double value, double weight) {
+  total_weight_ += weight;
+  if (value <= 0.0 || std::log10(value) < log_lo_) {
+    counts_.front() += weight;
+    return;
+  }
+  double offset = (std::log10(value) - log_lo_) * bins_per_decade_;
+  size_t bin = static_cast<size_t>(offset) + 1;
+  if (bin >= counts_.size() - 1) {
+    counts_.back() += weight;
+  } else {
+    counts_[bin] += weight;
+  }
+}
+
+double LogHistogram::BinLowerEdge(size_t i) const {
+  SWIM_CHECK_LT(i, counts_.size());
+  if (i == 0) return 0.0;
+  return std::pow(10.0, log_lo_ + static_cast<double>(i - 1) / bins_per_decade_);
+}
+
+double LogHistogram::BinUpperEdge(size_t i) const {
+  SWIM_CHECK_LT(i, counts_.size());
+  if (i == counts_.size() - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, log_lo_ + static_cast<double>(i) / bins_per_decade_);
+}
+
+std::vector<double> LogHistogram::CumulativeFractions() const {
+  std::vector<double> fractions(counts_.size(), 0.0);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    fractions[i] = total_weight_ > 0.0 ? cumulative / total_weight_ : 0.0;
+  }
+  return fractions;
+}
+
+std::string LogHistogram::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0.0) continue;
+    os << "[" << BinLowerEdge(i) << ", " << BinUpperEdge(i)
+       << "): " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)) {
+  SWIM_CHECK_GT(hi, lo);
+  SWIM_CHECK_GT(bins, 0u);
+  counts_.assign(bins, 0.0);
+}
+
+void LinearHistogram::Add(double value, double weight) {
+  total_weight_ += weight;
+  double offset = (value - lo_) / width_;
+  if (offset < 0.0) offset = 0.0;
+  size_t bin = static_cast<size_t>(offset);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  counts_[bin] += weight;
+}
+
+double LinearHistogram::BinLowerEdge(size_t i) const {
+  SWIM_CHECK_LT(i, counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace swim::stats

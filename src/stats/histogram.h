@@ -1,0 +1,65 @@
+#ifndef SWIM_STATS_HISTOGRAM_H_
+#define SWIM_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swim::stats {
+
+/// Histogram with logarithmically spaced bins, suited to quantities spanning
+/// many orders of magnitude (per-job bytes range from B to TB in the paper's
+/// traces). Values below `lo` land in an underflow bin; values >= `hi` land
+/// in an overflow bin.
+class LogHistogram {
+ public:
+  /// `lo` and `hi` must be positive with lo < hi; `bins_per_decade` >= 1.
+  LogHistogram(double lo, double hi, int bins_per_decade = 4);
+
+  void Add(double value, double weight = 1.0);
+
+  size_t bin_count() const { return counts_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  /// Lower edge of bin i (i in [0, bin_count)). Bin 0 is the underflow bin
+  /// whose lower edge is reported as 0.
+  double BinLowerEdge(size_t i) const;
+  double BinUpperEdge(size_t i) const;
+  double BinWeight(size_t i) const { return counts_[i]; }
+
+  /// Cumulative weight fraction at each bin upper edge.
+  std::vector<double> CumulativeFractions() const;
+
+  /// Crude terminal rendering for reports: one row per non-empty bin.
+  std::string ToString() const;
+
+ private:
+  double log_lo_;
+  double bins_per_decade_;
+  std::vector<double> counts_;  // [underflow, regular bins..., overflow]
+  double total_weight_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi).
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, size_t bins);
+
+  void Add(double value, double weight = 1.0);
+
+  size_t bin_count() const { return counts_.size(); }
+  double total_weight() const { return total_weight_; }
+  double BinLowerEdge(size_t i) const;
+  double BinWeight(size_t i) const { return counts_[i]; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_HISTOGRAM_H_

@@ -1,0 +1,219 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace swim::stats {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    double diff = a[d] - b[d];
+    total += diff * diff;
+  }
+  return total;
+}
+
+/// k-means++ initialization: the first centroid is uniform, each subsequent
+/// centroid is drawn with probability proportional to squared distance to
+/// the nearest chosen centroid.
+std::vector<std::vector<double>> SeedCentroids(
+    const std::vector<std::vector<double>>& points, int k, Pcg32& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.NextBounded(points.size())]);
+
+  std::vector<double> nearest(points.size(),
+                              std::numeric_limits<double>::max());
+  while (static_cast<int>(centroids.size()) < k) {
+    const auto& latest = centroids.back();
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      nearest[i] = std::min(nearest[i], SquaredDistance(points[i], latest));
+      total += nearest[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng.NextBounded(points.size())]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    double cumulative = 0.0;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      cumulative += nearest[i];
+      if (target < cumulative) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult LloydOnce(const std::vector<std::vector<double>>& points, int k,
+                       int max_iterations, Pcg32& rng) {
+  const size_t dims = points[0].size();
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignments.assign(points.size(), -1);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        double dist = SquaredDistance(points[i], result.centroids[c]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      int c = result.assignments[i];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+      ++counts[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.NextBounded(points.size())];
+        continue;
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.sizes.assign(k, 0);
+  result.residual_variance = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    int c = result.assignments[i];
+    ++result.sizes[c];
+    result.residual_variance +=
+        SquaredDistance(points[i], result.centroids[c]);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeansFit(
+    const std::vector<std::vector<double>>& points, int k,
+    const KMeansOptions& options) {
+  if (points.empty()) {
+    return InvalidArgumentError("k-means requires at least one point");
+  }
+  if (k < 1 || static_cast<size_t>(k) > points.size()) {
+    return InvalidArgumentError("k must be in [1, number of points]");
+  }
+  const size_t dims = points[0].size();
+  if (dims == 0) return InvalidArgumentError("points must have dimension > 0");
+  for (const auto& p : points) {
+    if (p.size() != dims) {
+      return InvalidArgumentError("points have inconsistent dimensions");
+    }
+  }
+
+  Pcg32 rng(options.seed, /*stream=*/17);
+  KMeansResult best;
+  best.residual_variance = std::numeric_limits<double>::max();
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    KMeansResult run = LloydOnce(points, k, options.max_iterations, rng);
+    if (run.residual_variance < best.residual_variance) best = std::move(run);
+  }
+  return best;
+}
+
+StatusOr<ChooseKResult> ChooseKByElbow(
+    const std::vector<std::vector<double>>& points, int max_k,
+    double min_improvement, const KMeansOptions& options) {
+  if (max_k < 1) return InvalidArgumentError("max_k must be >= 1");
+  max_k = std::min<int>(max_k, static_cast<int>(points.size()));
+
+  ChooseKResult chosen;
+  double total_variance = 0.0;  // the k = 1 residual
+  double previous = 0.0;
+  for (int k = 1; k <= max_k; ++k) {
+    SWIM_ASSIGN_OR_RETURN(KMeansResult run, KMeansFit(points, k, options));
+    chosen.residuals.push_back(run.residual_variance);
+    if (k == 1) {
+      chosen.k = 1;
+      total_variance = run.residual_variance;
+      previous = run.residual_variance;
+      if (total_variance <= 1e-12) break;  // all points identical
+      continue;
+    }
+    double improvement = (previous - run.residual_variance) / total_variance;
+    if (improvement < min_improvement) break;
+    chosen.k = k;
+    previous = run.residual_variance;
+    if (run.residual_variance <= 1e-12) break;  // perfect fit; stop early
+  }
+  return chosen;
+}
+
+ColumnScaling StandardizeColumns(std::vector<std::vector<double>>& points) {
+  ColumnScaling scaling;
+  if (points.empty()) return scaling;
+  const size_t dims = points[0].size();
+  scaling.mean.assign(dims, 0.0);
+  scaling.stddev.assign(dims, 0.0);
+  const double n = static_cast<double>(points.size());
+
+  for (const auto& p : points) {
+    for (size_t d = 0; d < dims; ++d) scaling.mean[d] += p[d];
+  }
+  for (size_t d = 0; d < dims; ++d) scaling.mean[d] /= n;
+  for (const auto& p : points) {
+    for (size_t d = 0; d < dims; ++d) {
+      double diff = p[d] - scaling.mean[d];
+      scaling.stddev[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    scaling.stddev[d] = std::sqrt(scaling.stddev[d] / n);
+  }
+  for (auto& p : points) {
+    for (size_t d = 0; d < dims; ++d) {
+      p[d] -= scaling.mean[d];
+      if (scaling.stddev[d] > 0.0) p[d] /= scaling.stddev[d];
+    }
+  }
+  return scaling;
+}
+
+std::vector<double> UnstandardizeRow(const std::vector<double>& row,
+                                     const ColumnScaling& scaling) {
+  SWIM_CHECK_EQ(row.size(), scaling.mean.size());
+  std::vector<double> result(row.size());
+  for (size_t d = 0; d < row.size(); ++d) {
+    double scale = scaling.stddev[d] > 0.0 ? scaling.stddev[d] : 1.0;
+    result[d] = row[d] * scale + scaling.mean[d];
+  }
+  return result;
+}
+
+}  // namespace swim::stats

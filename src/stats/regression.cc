@@ -1,0 +1,33 @@
+#include "stats/regression.h"
+
+#include "common/logging.h"
+
+namespace swim::stats {
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  SWIM_CHECK_EQ(x.size(), y.size());
+  LinearFit fit;
+  fit.n = x.size();
+  if (x.size() < 2) return fit;
+
+  double n = static_cast<double>(x.size());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0, sum_yy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+    sum_xx += x[i] * x[i];
+    sum_xy += x[i] * y[i];
+    sum_yy += y[i] * y[i];
+  }
+  double sxx = sum_xx - sum_x * sum_x / n;
+  double sxy = sum_xy - sum_x * sum_y / n;
+  double syy = sum_yy - sum_y * sum_y / n;
+  if (sxx <= 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = (sum_y - fit.slope * sum_x) / n;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace swim::stats

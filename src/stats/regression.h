@@ -1,0 +1,22 @@
+#ifndef SWIM_STATS_REGRESSION_H_
+#define SWIM_STATS_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace swim::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  size_t n = 0;
+};
+
+/// Ordinary least squares fit y = slope * x + intercept. Inputs must be the
+/// same length; fewer than two points yields a zero fit with n recorded.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_REGRESSION_H_

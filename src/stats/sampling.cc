@@ -1,0 +1,39 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+
+namespace swim::stats {
+
+std::vector<double> Resample(const std::vector<double>& values, size_t count,
+                             Pcg32& rng) {
+  std::vector<double> result;
+  if (values.empty()) return result;
+  result.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    result.push_back(values[rng.NextBounded(values.size())]);
+  }
+  return result;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  SWIM_CHECK(!weights.empty());
+  cumulative_.resize(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    SWIM_CHECK_GE(weights[i], 0.0);
+    total += weights[i];
+    cumulative_[i] = total;
+  }
+  SWIM_CHECK_GT(total, 0.0);
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;
+}
+
+size_t DiscreteSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+}  // namespace swim::stats

@@ -1,0 +1,73 @@
+#ifndef SWIM_STATS_SAMPLING_H_
+#define SWIM_STATS_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace swim::stats {
+
+/// Algorithm R reservoir sampler: maintains a uniform sample of up to
+/// `capacity` items from a stream of unknown length.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, Pcg32 rng)
+      : capacity_(capacity), rng_(rng) {
+    SWIM_CHECK_GT(capacity, 0u);
+  }
+
+  void Add(T item) {
+    ++seen_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(std::move(item));
+      return;
+    }
+    size_t slot = rng_.NextBounded(seen_);
+    if (slot < capacity_) reservoir_[slot] = std::move(item);
+  }
+
+  size_t seen() const { return seen_; }
+  const std::vector<T>& sample() const { return reservoir_; }
+
+ private:
+  size_t capacity_;
+  Pcg32 rng_;
+  size_t seen_ = 0;
+  std::vector<T> reservoir_;
+};
+
+/// Fisher-Yates shuffle driven by the library's deterministic RNG.
+template <typename T>
+void Shuffle(std::vector<T>& items, Pcg32& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// Draws `count` samples (with replacement) from `values`.
+std::vector<double> Resample(const std::vector<double>& values, size_t count,
+                             Pcg32& rng);
+
+/// Samples indices proportionally to fixed non-negative weights in
+/// O(log n) per draw via a precomputed cumulative table. Use this instead
+/// of Pcg32::NextDiscrete (O(n) per draw) when drawing many times from the
+/// same weights.
+class DiscreteSampler {
+ public:
+  /// Weights must be non-empty, non-negative, with a positive sum.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  size_t Sample(Pcg32& rng) const;
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized, back() == 1
+};
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_SAMPLING_H_

@@ -1,0 +1,72 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/regression.h"
+
+namespace swim::stats {
+
+ZipfFitResult FitZipf(const std::vector<double>& frequencies) {
+  std::vector<double> sorted;
+  sorted.reserve(frequencies.size());
+  for (double f : frequencies) {
+    if (f > 0.0) sorted.push_back(f);
+  }
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  ZipfFitResult result;
+  result.ranks = sorted.size();
+  if (sorted.size() < 2) return result;
+
+  // Sample ranks log-uniformly (24 per decade). Fitting every rank would
+  // let the long plateau of once-accessed files dominate the regression;
+  // log spacing matches how a straight line is judged on the paper's
+  // log-log axes (Figure 2).
+  std::vector<double> log_rank;
+  std::vector<double> log_freq;
+  const double n = static_cast<double>(sorted.size());
+  const double step = std::pow(10.0, 1.0 / 24.0);
+  size_t last_rank = 0;
+  for (double r = 1.0; r <= n; r *= step) {
+    size_t rank = static_cast<size_t>(r);
+    if (rank == last_rank) continue;
+    last_rank = rank;
+    log_rank.push_back(std::log10(static_cast<double>(rank)));
+    log_freq.push_back(std::log10(sorted[rank - 1]));
+  }
+  LinearFit fit = FitLine(log_rank, log_freq);
+  result.slope = -fit.slope;
+  result.intercept = fit.intercept;
+  result.r_squared = fit.r_squared;
+  return result;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
+  SWIM_CHECK_GE(n, 1u);
+  SWIM_CHECK_GE(s, 0.0);
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cumulative_[i] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::Pmf(size_t i) const {
+  SWIM_CHECK_LT(i, cumulative_.size());
+  if (i == 0) return cumulative_[0];
+  return cumulative_[i] - cumulative_[i - 1];
+}
+
+}  // namespace swim::stats

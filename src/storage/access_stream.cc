@@ -1,0 +1,37 @@
+#include "storage/access_stream.h"
+
+#include <algorithm>
+
+namespace swim::storage {
+
+std::vector<FileAccess> ExtractAccesses(const trace::Trace& trace) {
+  std::vector<FileAccess> accesses;
+  accesses.reserve(trace.size() * 2);
+  for (const auto& job : trace.jobs()) {
+    if (!job.input_path.empty()) {
+      accesses.push_back({job.submit_time, job.input_path, job.input_bytes,
+                          AccessKind::kRead, job.job_id});
+    }
+    if (!job.output_path.empty()) {
+      accesses.push_back({job.FinishTime(), job.output_path,
+                          job.output_bytes, AccessKind::kWrite, job.job_id});
+    }
+  }
+  std::stable_sort(accesses.begin(), accesses.end(),
+                   [](const FileAccess& a, const FileAccess& b) {
+                     return a.time < b.time;
+                   });
+  return accesses;
+}
+
+std::unordered_map<std::string, double> ComputeFileSizes(
+    const std::vector<FileAccess>& accesses) {
+  std::unordered_map<std::string, double> sizes;
+  for (const auto& access : accesses) {
+    double& size = sizes[access.path];
+    size = std::max(size, access.bytes);
+  }
+  return sizes;
+}
+
+}  // namespace swim::storage

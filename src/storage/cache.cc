@@ -1,0 +1,162 @@
+#include "storage/cache.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace swim::storage {
+
+bool FileCache::Access(const FileAccess& access) {
+  if (access.kind == AccessKind::kWrite) {
+    // Write-through: outputs land in the cache (refreshing size) so that
+    // output->input chains (section 4.3) can hit.
+    Insert(access);
+    return false;
+  }
+  ++stats_.accesses;
+  stats_.bytes_requested += access.bytes;
+  auto it = resident_.find(access.path);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    stats_.bytes_hit += access.bytes;
+    OnHit(access.path);
+    return true;
+  }
+  Insert(access);
+  return false;
+}
+
+void FileCache::Insert(const FileAccess& access) {
+  if (access.bytes > capacity_bytes_ || !ShouldAdmit(access)) {
+    ++stats_.admission_rejections;
+    return;
+  }
+  auto it = resident_.find(access.path);
+  if (it != resident_.end()) {
+    // Refresh: adjust for a size change and touch recency.
+    used_bytes_ += access.bytes - it->second;
+    it->second = access.bytes;
+    OnHit(access.path);
+  } else {
+    resident_[access.path] = access.bytes;
+    used_bytes_ += access.bytes;
+    OnInsert(access.path);
+  }
+  while (used_bytes_ > capacity_bytes_ && resident_.size() > 1) {
+    std::string victim = ChooseVictim();
+    auto victim_it = resident_.find(victim);
+    SWIM_CHECK(victim_it != resident_.end()) << "policy evicted non-resident";
+    if (victim == access.path && resident_.size() == 1) break;
+    used_bytes_ -= victim_it->second;
+    resident_.erase(victim_it);
+    OnEvict(victim);
+    ++stats_.evictions;
+  }
+  // A single file larger than capacity was rejected above, so the loop
+  // always terminates with used_bytes_ <= capacity once alone.
+  if (used_bytes_ > capacity_bytes_ && resident_.size() == 1 &&
+      resident_.begin()->first != access.path) {
+    std::string victim = resident_.begin()->first;
+    used_bytes_ -= resident_.begin()->second;
+    resident_.erase(resident_.begin());
+    OnEvict(victim);
+    ++stats_.evictions;
+  }
+}
+
+// --- LRU --------------------------------------------------------------
+
+void LruCache::Touch(const std::string& path) {
+  auto it = where_.find(path);
+  if (it != where_.end()) order_.erase(it->second);
+  order_.push_front(path);
+  where_[path] = order_.begin();
+}
+
+void LruCache::OnInsert(const std::string& path) { Touch(path); }
+void LruCache::OnHit(const std::string& path) { Touch(path); }
+
+std::string LruCache::ChooseVictim() {
+  SWIM_CHECK(!order_.empty());
+  return order_.back();
+}
+
+void LruCache::OnEvict(const std::string& path) {
+  auto it = where_.find(path);
+  if (it != where_.end()) {
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+}
+
+// --- FIFO -------------------------------------------------------------
+
+void FifoCache::OnInsert(const std::string& path) {
+  order_.push_front(path);
+  where_[path] = order_.begin();
+}
+
+std::string FifoCache::ChooseVictim() {
+  SWIM_CHECK(!order_.empty());
+  return order_.back();
+}
+
+void FifoCache::OnEvict(const std::string& path) {
+  auto it = where_.find(path);
+  if (it != where_.end()) {
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+}
+
+// --- LFU --------------------------------------------------------------
+
+void LfuCache::OnInsert(const std::string& path) {
+  entries_[path] = Entry{1, ++clock_};
+}
+
+void LfuCache::OnHit(const std::string& path) {
+  Entry& e = entries_[path];
+  ++e.frequency;
+  e.last_touch = ++clock_;
+}
+
+std::string LfuCache::ChooseVictim() {
+  SWIM_CHECK(!entries_.empty());
+  const std::string* victim = nullptr;
+  uint64_t best_freq = std::numeric_limits<uint64_t>::max();
+  uint64_t best_touch = std::numeric_limits<uint64_t>::max();
+  for (const auto& [path, entry] : entries_) {
+    if (entry.frequency < best_freq ||
+        (entry.frequency == best_freq && entry.last_touch < best_touch)) {
+      best_freq = entry.frequency;
+      best_touch = entry.last_touch;
+      victim = &path;
+    }
+  }
+  return *victim;
+}
+
+void LfuCache::OnEvict(const std::string& path) { entries_.erase(path); }
+
+// --- Size threshold / unbounded ----------------------------------------
+
+std::string SizeThresholdLruCache::name() const {
+  return "SizeThresholdLRU(<" + std::to_string(max_file_bytes_) + "B)";
+}
+
+UnboundedCache::UnboundedCache()
+    : FileCache(std::numeric_limits<double>::max()) {}
+
+std::string UnboundedCache::ChooseVictim() {
+  SWIM_LOG(Fatal) << "UnboundedCache never evicts";
+  return "";
+}
+
+CacheStats ReplayAccesses(const std::vector<FileAccess>& accesses,
+                          FileCache& cache) {
+  for (const auto& access : accesses) cache.Access(access);
+  return cache.stats();
+}
+
+}  // namespace swim::storage

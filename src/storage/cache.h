@@ -1,0 +1,171 @@
+#ifndef SWIM_STORAGE_CACHE_H_
+#define SWIM_STORAGE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/access_stream.h"
+
+namespace swim::storage {
+
+/// Whole-file cache statistics. The paper argues (section 4.2/4.3) that a
+/// cache admitting only files below a size threshold, with LRU-like
+/// eviction, captures most accesses with a small fraction of stored bytes.
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  double bytes_requested = 0.0;
+  double bytes_hit = 0.0;
+  uint64_t evictions = 0;
+  uint64_t admission_rejections = 0;
+
+  double HitRate() const {
+    return accesses > 0 ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+  }
+  double ByteHitRate() const {
+    return bytes_requested > 0.0 ? bytes_hit / bytes_requested : 0.0;
+  }
+};
+
+/// Whole-file cache with pluggable policy. Reads probe the cache and
+/// insert on miss (if admitted); writes insert/refresh the file (write-
+/// through semantics - HDFS outputs are immediately re-readable).
+class FileCache {
+ public:
+  virtual ~FileCache() = default;
+
+  /// Processes one access; returns true on hit (reads only; writes always
+  /// return false but warm the cache).
+  bool Access(const FileAccess& access);
+
+  const CacheStats& stats() const { return stats_; }
+  double capacity_bytes() const { return capacity_bytes_; }
+  double used_bytes() const { return used_bytes_; }
+  size_t resident_files() const { return resident_.size(); }
+  virtual std::string name() const = 0;
+
+ protected:
+  explicit FileCache(double capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Policy hooks.
+  virtual bool ShouldAdmit(const FileAccess& /*access*/) { return true; }
+  virtual void OnInsert(const std::string& path) = 0;
+  virtual void OnHit(const std::string& path) = 0;
+  /// Chooses a victim; must return a resident path.
+  virtual std::string ChooseVictim() = 0;
+  virtual void OnEvict(const std::string& path) = 0;
+
+  bool IsResident(const std::string& path) const {
+    return resident_.count(path) > 0;
+  }
+
+ private:
+  void Insert(const FileAccess& access);
+
+  double capacity_bytes_;
+  double used_bytes_ = 0.0;
+  std::unordered_map<std::string, double> resident_;  // path -> bytes
+  CacheStats stats_;
+};
+
+/// Least-recently-used eviction.
+class LruCache : public FileCache {
+ public:
+  explicit LruCache(double capacity_bytes) : FileCache(capacity_bytes) {}
+  std::string name() const override { return "LRU"; }
+
+ protected:
+  void OnInsert(const std::string& path) override;
+  void OnHit(const std::string& path) override;
+  std::string ChooseVictim() override;
+  void OnEvict(const std::string& path) override;
+
+ private:
+  void Touch(const std::string& path);
+  std::list<std::string> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> where_;
+};
+
+/// First-in-first-out eviction.
+class FifoCache : public FileCache {
+ public:
+  explicit FifoCache(double capacity_bytes) : FileCache(capacity_bytes) {}
+  std::string name() const override { return "FIFO"; }
+
+ protected:
+  void OnInsert(const std::string& path) override;
+  void OnHit(const std::string& /*path*/) override {}
+  std::string ChooseVictim() override;
+  void OnEvict(const std::string& path) override;
+
+ private:
+  std::list<std::string> order_;  // front = newest
+  std::unordered_map<std::string, std::list<std::string>::iterator> where_;
+};
+
+/// Least-frequently-used eviction (ties broken by least recent).
+class LfuCache : public FileCache {
+ public:
+  explicit LfuCache(double capacity_bytes) : FileCache(capacity_bytes) {}
+  std::string name() const override { return "LFU"; }
+
+ protected:
+  void OnInsert(const std::string& path) override;
+  void OnHit(const std::string& path) override;
+  std::string ChooseVictim() override;
+  void OnEvict(const std::string& path) override;
+
+ private:
+  struct Entry {
+    uint64_t frequency = 0;
+    uint64_t last_touch = 0;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t clock_ = 0;
+};
+
+/// LRU restricted to files below a size threshold - the policy the paper
+/// proposes: "a viable cache policy is to cache files whose size is less
+/// than a threshold", decoupling cache growth from data growth.
+class SizeThresholdLruCache : public LruCache {
+ public:
+  SizeThresholdLruCache(double capacity_bytes, double max_file_bytes)
+      : LruCache(capacity_bytes), max_file_bytes_(max_file_bytes) {}
+  std::string name() const override;
+
+ protected:
+  bool ShouldAdmit(const FileAccess& access) override {
+    return access.bytes < max_file_bytes_;
+  }
+
+ private:
+  double max_file_bytes_;
+};
+
+/// Infinite-capacity reference cache: its hit rate is the workload's
+/// intrinsic re-access rate, an upper bound for any real policy.
+class UnboundedCache : public FileCache {
+ public:
+  UnboundedCache();
+  std::string name() const override { return "Unbounded"; }
+
+ protected:
+  void OnInsert(const std::string& /*path*/) override {}
+  void OnHit(const std::string& /*path*/) override {}
+  std::string ChooseVictim() override;
+  void OnEvict(const std::string& /*path*/) override {}
+};
+
+/// Runs a full access stream through a cache.
+CacheStats ReplayAccesses(const std::vector<FileAccess>& accesses,
+                          FileCache& cache);
+
+}  // namespace swim::storage
+
+#endif  // SWIM_STORAGE_CACHE_H_

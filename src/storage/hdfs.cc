@@ -1,0 +1,97 @@
+#include "storage/hdfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace swim::storage {
+
+HdfsNamespace::HdfsNamespace(const HdfsOptions& options)
+    : options_(options), rng_(options.seed, /*stream=*/0xd15) {
+  SWIM_CHECK_GE(options_.nodes, 1);
+  SWIM_CHECK_GT(options_.block_bytes, 0.0);
+  SWIM_CHECK_GE(options_.replication, 1);
+  options_.replication = std::min(options_.replication, options_.nodes);
+  node_bytes_.assign(options_.nodes, 0.0);
+}
+
+std::vector<int> HdfsNamespace::PlaceReplicas() {
+  // Random distinct nodes; with few nodes fall back to all of them.
+  std::vector<int> nodes;
+  nodes.reserve(options_.replication);
+  while (static_cast<int>(nodes.size()) < options_.replication) {
+    int candidate = static_cast<int>(rng_.NextBounded(options_.nodes));
+    if (std::find(nodes.begin(), nodes.end(), candidate) == nodes.end()) {
+      nodes.push_back(candidate);
+    }
+  }
+  return nodes;
+}
+
+Status HdfsNamespace::CreateFile(const std::string& path, double bytes) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  if (bytes < 0.0) return InvalidArgumentError("negative size: " + path);
+  if (files_.count(path) > 0) {
+    return AlreadyExistsError("file exists: " + path);
+  }
+  HdfsFileInfo info;
+  info.path = path;
+  info.bytes = bytes;
+  size_t block_count = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(bytes / options_.block_bytes)));
+  info.blocks.reserve(block_count);
+  for (size_t b = 0; b < block_count; ++b) {
+    BlockLocation block;
+    block.block_id = next_block_id_++;
+    block.nodes = PlaceReplicas();
+    double block_bytes =
+        (b + 1 < block_count)
+            ? options_.block_bytes
+            : bytes - options_.block_bytes * static_cast<double>(b);
+    block_bytes = std::max(block_bytes, 0.0);
+    for (int node : block.nodes) node_bytes_[node] += block_bytes;
+    info.blocks.push_back(std::move(block));
+  }
+  total_stored_bytes_ += bytes;
+  files_.emplace(path, std::move(info));
+  return Status::Ok();
+}
+
+Status HdfsNamespace::WriteFile(const std::string& path, double bytes) {
+  if (Exists(path)) SWIM_RETURN_IF_ERROR(DeleteFile(path));
+  return CreateFile(path, bytes);
+}
+
+Status HdfsNamespace::DeleteFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  const HdfsFileInfo& info = it->second;
+  double remaining = info.bytes;
+  for (const auto& block : info.blocks) {
+    double block_bytes = std::min(remaining, options_.block_bytes);
+    remaining -= block_bytes;
+    for (int node : block.nodes) node_bytes_[node] -= block_bytes;
+  }
+  total_stored_bytes_ -= info.bytes;
+  files_.erase(it);
+  return Status::Ok();
+}
+
+bool HdfsNamespace::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+StatusOr<HdfsFileInfo> HdfsNamespace::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  return it->second;
+}
+
+double HdfsNamespace::NodeBytes(int node) const {
+  SWIM_CHECK_GE(node, 0);
+  SWIM_CHECK_LT(node, options_.nodes);
+  return node_bytes_[node];
+}
+
+}  // namespace swim::storage

@@ -1,0 +1,77 @@
+#ifndef SWIM_STORAGE_HDFS_H_
+#define SWIM_STORAGE_HDFS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace swim::storage {
+
+/// Location of one block replica.
+struct BlockLocation {
+  uint64_t block_id = 0;
+  std::vector<int> nodes;  // node indices holding replicas
+};
+
+struct HdfsFileInfo {
+  std::string path;
+  double bytes = 0.0;
+  std::vector<BlockLocation> blocks;
+};
+
+struct HdfsOptions {
+  int nodes = 10;
+  double block_bytes = 128e6;  // Hadoop-era default block size
+  int replication = 3;
+  uint64_t seed = 7;
+};
+
+/// Minimal HDFS-like namespace: files are split into fixed-size blocks,
+/// each replicated on `replication` distinct random nodes. Provides the
+/// placement and capacity accounting the cluster simulator uses for map
+/// locality, and the "bytes stored" denominator of Figures 3/4.
+class HdfsNamespace {
+ public:
+  explicit HdfsNamespace(const HdfsOptions& options);
+
+  /// Creates a file; fails if the path already exists (HDFS semantics) or
+  /// size is negative.
+  Status CreateFile(const std::string& path, double bytes);
+
+  /// Creates or replaces (delete + create).
+  Status WriteFile(const std::string& path, double bytes);
+
+  Status DeleteFile(const std::string& path);
+
+  bool Exists(const std::string& path) const;
+  StatusOr<HdfsFileInfo> Stat(const std::string& path) const;
+
+  size_t file_count() const { return files_.size(); }
+  double total_stored_bytes() const { return total_stored_bytes_; }
+  /// Physical bytes including replication.
+  double total_physical_bytes() const {
+    return total_stored_bytes_ * options_.replication;
+  }
+  /// Physical bytes placed on one node.
+  double NodeBytes(int node) const;
+  int node_count() const { return options_.nodes; }
+
+ private:
+  std::vector<int> PlaceReplicas();
+
+  HdfsOptions options_;
+  Pcg32 rng_;
+  uint64_t next_block_id_ = 1;
+  std::unordered_map<std::string, HdfsFileInfo> files_;
+  std::vector<double> node_bytes_;
+  double total_stored_bytes_ = 0.0;
+};
+
+}  // namespace swim::storage
+
+#endif  // SWIM_STORAGE_HDFS_H_

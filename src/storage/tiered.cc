@@ -1,0 +1,72 @@
+#include "storage/tiered.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace swim::storage {
+
+StatusOr<std::unique_ptr<FileCache>> MakeCache(const std::string& policy,
+                                               double capacity_bytes,
+                                               double size_threshold_bytes) {
+  if (capacity_bytes <= 0.0) {
+    return InvalidArgumentError("capacity must be positive");
+  }
+  std::string normalized = ToLower(policy);
+  if (normalized == "lru") {
+    return std::unique_ptr<FileCache>(new LruCache(capacity_bytes));
+  }
+  if (normalized == "lfu") {
+    return std::unique_ptr<FileCache>(new LfuCache(capacity_bytes));
+  }
+  if (normalized == "fifo") {
+    return std::unique_ptr<FileCache>(new FifoCache(capacity_bytes));
+  }
+  if (normalized == "size-threshold" || normalized == "sizethreshold") {
+    if (size_threshold_bytes <= 0.0) {
+      return InvalidArgumentError("size threshold must be positive");
+    }
+    return std::unique_ptr<FileCache>(
+        new SizeThresholdLruCache(capacity_bytes, size_threshold_bytes));
+  }
+  if (normalized == "unbounded") {
+    return std::unique_ptr<FileCache>(new UnboundedCache());
+  }
+  return InvalidArgumentError("unknown cache policy: " + policy);
+}
+
+StatusOr<TieredStats> SimulateTieredReads(
+    const std::vector<FileAccess>& accesses, const TierConfig& config) {
+  if (config.memory_bandwidth <= 0.0 || config.disk_bandwidth <= 0.0) {
+    return InvalidArgumentError("bandwidths must be positive");
+  }
+  if (config.disk_seek_seconds < 0.0) {
+    return InvalidArgumentError("seek time must be >= 0");
+  }
+  SWIM_ASSIGN_OR_RETURN(std::unique_ptr<FileCache> memory_tier,
+                        MakeCache(config.policy,
+                                  config.memory_capacity_bytes,
+                                  config.size_threshold_bytes));
+  TieredStats stats;
+  std::vector<double> latencies;
+  std::vector<double> disk_latencies;
+  for (const auto& access : accesses) {
+    bool hit = memory_tier->Access(access);
+    if (access.kind != AccessKind::kRead) continue;
+    double disk_time =
+        config.disk_seek_seconds + access.bytes / config.disk_bandwidth;
+    double served_time =
+        hit ? access.bytes / config.memory_bandwidth : disk_time;
+    stats.disk_only_seconds += disk_time;
+    stats.read_seconds += served_time;
+    latencies.push_back(served_time);
+    disk_latencies.push_back(disk_time);
+  }
+  stats.median_latency_seconds = stats::Median(latencies);
+  stats.median_disk_latency_seconds = stats::Median(disk_latencies);
+  stats.cache = memory_tier->stats();
+  return stats;
+}
+
+}  // namespace swim::storage

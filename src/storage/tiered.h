@@ -1,0 +1,66 @@
+#ifndef SWIM_STORAGE_TIERED_H_
+#define SWIM_STORAGE_TIERED_H_
+
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "storage/cache.h"
+
+namespace swim::storage {
+
+/// Builds a cache by policy name: "lru", "lfu", "fifo", "unbounded", or
+/// "size-threshold" (which also uses `size_threshold_bytes`). Unknown
+/// names fail.
+StatusOr<std::unique_ptr<FileCache>> MakeCache(
+    const std::string& policy, double capacity_bytes,
+    double size_threshold_bytes = 1e9);
+
+/// Two-tier read-path model (memory over disk), quantifying the paper's
+/// section 4.2 suggestion that skewed access frequencies make "a tiered
+/// storage architecture" worth exploring (the PACMan line of work it
+/// cites). Reads served from the memory tier stream at memory bandwidth;
+/// misses pay a disk seek plus disk-bandwidth transfer.
+struct TierConfig {
+  double memory_capacity_bytes = 1e12;
+  /// Per-file streaming bandwidths (aggregate across the cluster's readers
+  /// of one file), bytes/second.
+  double memory_bandwidth = 3e9;
+  double disk_bandwidth = 100e6;
+  double disk_seek_seconds = 0.01;
+  /// Memory-tier admission/eviction policy (see MakeCache).
+  std::string policy = "lru";
+  double size_threshold_bytes = 1e9;
+};
+
+struct TieredStats {
+  /// Total read time with the memory tier.
+  double read_seconds = 0.0;
+  /// Total read time if every read went to disk.
+  double disk_only_seconds = 0.0;
+  /// Median per-access read latency with / without the tier. Total time is
+  /// dominated by rare uncacheable TB-scale scans, so the per-access
+  /// median is the number interactive jobs feel.
+  double median_latency_seconds = 0.0;
+  double median_disk_latency_seconds = 0.0;
+
+  /// Byte-weighted speedup (total read time ratio).
+  double Speedup() const {
+    return read_seconds > 0.0 ? disk_only_seconds / read_seconds : 1.0;
+  }
+  /// Typical-access speedup (median latency ratio).
+  double MedianSpeedup() const {
+    return median_latency_seconds > 0.0
+               ? median_disk_latency_seconds / median_latency_seconds
+               : 1.0;
+  }
+  CacheStats cache;
+};
+
+/// Drives an access stream through the tiered read path.
+StatusOr<TieredStats> SimulateTieredReads(
+    const std::vector<FileAccess>& accesses, const TierConfig& config);
+
+}  // namespace swim::storage
+
+#endif  // SWIM_STORAGE_TIERED_H_

@@ -1,0 +1,33 @@
+#include "trace/frameworks.h"
+
+#include <array>
+
+namespace swim::trace {
+
+std::string_view FrameworkName(Framework framework) {
+  switch (framework) {
+    case Framework::kHive:
+      return "Hive";
+    case Framework::kPig:
+      return "Pig";
+    case Framework::kOozie:
+      return "Oozie";
+    case Framework::kNative:
+      return "Native";
+  }
+  return "Unknown";
+}
+
+Framework ClassifyFramework(std::string_view first_word) {
+  // Hive emits the leading SQL keyword of the query as the job-name prefix.
+  static constexpr std::array<std::string_view, 6> kHiveWords = {
+      "insert", "select", "from", "create", "edw", "edwsequence"};
+  for (auto w : kHiveWords) {
+    if (first_word == w) return Framework::kHive;
+  }
+  if (first_word == "piglatin") return Framework::kPig;
+  if (first_word == "oozie") return Framework::kOozie;
+  return Framework::kNative;
+}
+
+}  // namespace swim::trace

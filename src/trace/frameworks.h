@@ -1,0 +1,31 @@
+#ifndef SWIM_TRACE_FRAMEWORKS_H_
+#define SWIM_TRACE_FRAMEWORKS_H_
+
+#include <string>
+#include <string_view>
+
+namespace swim::trace {
+
+/// Programming frameworks on top of MapReduce that the paper attributes job
+/// names to (section 6.1 / Figure 10).
+enum class Framework {
+  kHive = 0,
+  kPig = 1,
+  kOozie = 2,
+  kNative = 3,  // hand-written MapReduce and everything unrecognized
+};
+
+inline constexpr int kFrameworkCount = 4;
+
+std::string_view FrameworkName(Framework framework);
+
+/// Maps the first word of a job name to a framework, reproducing the
+/// attribution in Figure 10: Hive generates "insert"/"select"/"from" (query
+/// text prefixes), Pig generates "piglatin", Oozie generates "oozie"
+/// launchers; well-known warehouse job prefixes (etl/edw/...) are Hive-side
+/// migrations; everything else counts as native MapReduce.
+Framework ClassifyFramework(std::string_view first_word);
+
+}  // namespace swim::trace
+
+#endif  // SWIM_TRACE_FRAMEWORKS_H_

@@ -1,0 +1,54 @@
+#include "trace/summary.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/units.h"
+#include "stats/descriptive.h"
+
+namespace swim::trace {
+
+TraceSummary Summarize(const Trace& trace) {
+  TraceSummary summary;
+  summary.name = trace.metadata().name;
+  summary.machines = trace.metadata().machines;
+  summary.year = trace.metadata().year;
+  summary.span_seconds = trace.Span();
+  summary.jobs = trace.size();
+  std::vector<double> durations;
+  durations.reserve(trace.size());
+  for (const auto& job : trace.jobs()) {
+    summary.bytes_moved += job.TotalBytes();
+    if (job.IsMapOnly()) ++summary.map_only_jobs;
+    durations.push_back(job.duration);
+  }
+  summary.median_duration = stats::Median(durations);
+  return summary;
+}
+
+std::string FormatSummaryTable(const std::vector<TraceSummary>& rows) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-10s %9s %10s %6s %10s %12s\n",
+                "Trace", "Machines", "Length", "Year", "Jobs", "BytesMoved");
+  os << line;
+  size_t total_jobs = 0;
+  double total_bytes = 0.0;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-10s %9d %10s %6d %10s %12s\n",
+                  row.name.c_str(), row.machines,
+                  FormatDuration(row.span_seconds).c_str(), row.year,
+                  FormatCount(row.jobs).c_str(),
+                  FormatBytes(row.bytes_moved).c_str());
+    os << line;
+    total_jobs += row.jobs;
+    total_bytes += row.bytes_moved;
+  }
+  std::snprintf(line, sizeof(line), "%-10s %9s %10s %6s %10s %12s\n", "Total",
+                "-", "-", "-", FormatCount(total_jobs).c_str(),
+                FormatBytes(total_bytes).c_str());
+  os << line;
+  return os.str();
+}
+
+}  // namespace swim::trace

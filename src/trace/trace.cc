@@ -1,0 +1,70 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace swim::trace {
+
+void Trace::AddJob(JobRecord job) {
+  if (!jobs_.empty() && job.submit_time < jobs_.back().submit_time) {
+    sorted_ = false;
+  }
+  jobs_.push_back(std::move(job));
+}
+
+void Trace::SetJobs(std::vector<JobRecord> jobs) {
+  jobs_ = std::move(jobs);
+  sorted_ = false;
+  EnsureSorted();
+}
+
+void Trace::EnsureSorted() const {
+  if (sorted_) return;
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  sorted_ = true;
+}
+
+Status Trace::Validate() const {
+  for (const auto& job : jobs_) {
+    std::string violation = ValidateJobRecord(job);
+    if (!violation.empty()) {
+      return InvalidArgumentError("job " + std::to_string(job.job_id) + ": " +
+                                  violation);
+    }
+  }
+  return Status::Ok();
+}
+
+double Trace::StartTime() const {
+  if (jobs_.empty()) return 0.0;
+  EnsureSorted();
+  return jobs_.front().submit_time;
+}
+
+double Trace::EndTime() const {
+  if (jobs_.empty()) return 0.0;
+  EnsureSorted();
+  double end = 0.0;
+  for (const auto& job : jobs_) end = std::max(end, job.FinishTime());
+  return end;
+}
+
+double Trace::Span() const { return EndTime() - StartTime(); }
+
+std::vector<double> Trace::HourlyJobCounts() const {
+  return HourlySeries([](const JobRecord&) { return 1.0; });
+}
+
+std::vector<double> Trace::HourlyBytes() const {
+  return HourlySeries([](const JobRecord& j) { return j.TotalBytes(); });
+}
+
+std::vector<double> Trace::HourlyTaskSeconds() const {
+  return HourlySeries([](const JobRecord& j) { return j.TotalTaskSeconds(); });
+}
+
+}  // namespace swim::trace

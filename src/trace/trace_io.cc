@@ -1,0 +1,204 @@
+#include "trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace swim::trace {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view field) {
+  if (!NeedsQuoting(field)) return std::string(field);
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+/// Splits one CSV line honoring RFC 4180 quoting. Returns false on
+/// unbalanced quotes.
+bool SplitCsvLine(std::string_view line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(current));
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  // %.17g round-trips doubles exactly; trim to shortest by trying %g first.
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+Status ParseRow(const std::vector<std::string>& fields, int line_number,
+                JobRecord* job) {
+  if (fields.size() != 13) {
+    return InvalidArgumentError("line " + std::to_string(line_number) +
+                                ": expected 13 fields, got " +
+                                std::to_string(fields.size()));
+  }
+  auto fail = [&](const char* what) {
+    return InvalidArgumentError("line " + std::to_string(line_number) +
+                                ": bad " + std::string(what));
+  };
+  int64_t id = 0;
+  if (!ParseInt64(fields[0], &id) || id < 0) return fail("job_id");
+  job->job_id = static_cast<uint64_t>(id);
+  job->name = fields[1];
+  if (!ParseDouble(fields[2], &job->submit_time)) return fail("submit_time");
+  if (!ParseDouble(fields[3], &job->duration)) return fail("duration");
+  if (!ParseDouble(fields[4], &job->input_bytes)) return fail("input_bytes");
+  if (!ParseDouble(fields[5], &job->shuffle_bytes)) {
+    return fail("shuffle_bytes");
+  }
+  if (!ParseDouble(fields[6], &job->output_bytes)) {
+    return fail("output_bytes");
+  }
+  if (!ParseInt64(fields[7], &job->map_tasks)) return fail("map_tasks");
+  if (!ParseInt64(fields[8], &job->reduce_tasks)) return fail("reduce_tasks");
+  if (!ParseDouble(fields[9], &job->map_task_seconds)) {
+    return fail("map_task_seconds");
+  }
+  if (!ParseDouble(fields[10], &job->reduce_task_seconds)) {
+    return fail("reduce_task_seconds");
+  }
+  job->input_path = fields[11];
+  job->output_path = fields[12];
+  std::string violation = ValidateJobRecord(*job);
+  if (!violation.empty()) {
+    return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
+                                violation);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string TraceToCsv(const Trace& trace) {
+  std::ostringstream os;
+  const TraceMetadata& meta = trace.metadata();
+  if (!meta.name.empty()) os << "#name=" << meta.name << "\n";
+  if (meta.machines > 0) os << "#machines=" << meta.machines << "\n";
+  if (meta.year > 0) os << "#year=" << meta.year << "\n";
+  os << kTraceCsvHeader << "\n";
+  char buffer[512];
+  for (const auto& job : trace.jobs()) {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, job.job_id);
+    os << buffer << ',' << QuoteField(job.name) << ','
+       << FormatDouble(job.submit_time) << ',' << FormatDouble(job.duration)
+       << ',' << FormatDouble(job.input_bytes) << ','
+       << FormatDouble(job.shuffle_bytes) << ','
+       << FormatDouble(job.output_bytes) << ',' << job.map_tasks << ','
+       << job.reduce_tasks << ',' << FormatDouble(job.map_task_seconds) << ','
+       << FormatDouble(job.reduce_task_seconds) << ','
+       << QuoteField(job.input_path) << ',' << QuoteField(job.output_path)
+       << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<Trace> TraceFromCsv(const std::string& csv_text) {
+  Trace trace;
+  std::istringstream is(csv_text);
+  std::string line;
+  int line_number = 0;
+  bool header_seen = false;
+  std::vector<std::string> fields;
+  std::vector<JobRecord> jobs;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      auto parts = Split(line.substr(1), '=');
+      if (parts.size() == 2) {
+        if (parts[0] == "name") {
+          trace.mutable_metadata().name = parts[1];
+        } else if (parts[0] == "machines") {
+          int64_t v = 0;
+          if (ParseInt64(parts[1], &v)) {
+            trace.mutable_metadata().machines = static_cast<int>(v);
+          }
+        } else if (parts[0] == "year") {
+          int64_t v = 0;
+          if (ParseInt64(parts[1], &v)) {
+            trace.mutable_metadata().year = static_cast<int>(v);
+          }
+        }
+      }
+      continue;
+    }
+    if (!header_seen) {
+      if (line != kTraceCsvHeader) {
+        return InvalidArgumentError("line " + std::to_string(line_number) +
+                                    ": unrecognized header");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (!SplitCsvLine(line, &fields)) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": unbalanced quotes");
+    }
+    JobRecord job;
+    SWIM_RETURN_IF_ERROR(ParseRow(fields, line_number, &job));
+    jobs.push_back(std::move(job));
+  }
+  if (!header_seen) return InvalidArgumentError("missing CSV header");
+  trace.SetJobs(std::move(jobs));
+  return trace;
+}
+
+Status WriteTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return IoError("cannot open for writing: " + path);
+  out << TraceToCsv(trace);
+  out.flush();
+  if (!out) return IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Trace> ReadTraceCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceFromCsv(buffer.str());
+}
+
+}  // namespace swim::trace

@@ -1,0 +1,33 @@
+#ifndef SWIM_TRACE_TRACE_IO_H_
+#define SWIM_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "trace/trace.h"
+
+namespace swim::trace {
+
+/// CSV column order used by ReadTraceCsv / WriteTraceCsv. The first line of
+/// a trace file must be exactly this header.
+inline constexpr char kTraceCsvHeader[] =
+    "job_id,name,submit_time,duration,input_bytes,shuffle_bytes,"
+    "output_bytes,map_tasks,reduce_tasks,map_task_seconds,"
+    "reduce_task_seconds,input_path,output_path";
+
+/// Serializes a trace to CSV. Fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180. Metadata (name/machines/year) is
+/// stored in "#key=value" comment lines before the header.
+Status WriteTraceCsv(const Trace& trace, const std::string& path);
+
+/// Parses a CSV trace file produced by WriteTraceCsv (or hand-written with
+/// the same schema). Rejects malformed rows with the offending line number.
+StatusOr<Trace> ReadTraceCsv(const std::string& path);
+
+/// In-memory variants, used by tests and by tools that stream traces.
+std::string TraceToCsv(const Trace& trace);
+StatusOr<Trace> TraceFromCsv(const std::string& csv_text);
+
+}  // namespace swim::trace
+
+#endif  // SWIM_TRACE_TRACE_IO_H_

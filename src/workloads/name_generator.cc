@@ -1,0 +1,40 @@
+#include "workloads/name_generator.h"
+
+#include <array>
+
+#include "trace/frameworks.h"
+
+namespace swim::workloads {
+namespace {
+
+std::string Upper(const std::string& word) {
+  std::string out = word;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+std::string DecorateJobName(const std::string& first_word, uint64_t job_id,
+                            Pcg32& rng) {
+  const uint64_t tag = job_id % 100000;
+  switch (trace::ClassifyFramework(first_word)) {
+    case trace::Framework::kHive: {
+      static constexpr std::array<const char*, 3> kTargets = {
+          "TABLE dst_tbl", "DIRECTORY '/warehouse/q'", "TABLE tmp_agg"};
+      return Upper(first_word) + " OVERWRITE " +
+             kTargets[rng.NextBounded(kTargets.size())] + "_" +
+             std::to_string(tag) + "(Stage-" +
+             std::to_string(1 + rng.NextBounded(4)) + ")";
+    }
+    case trace::Framework::kPig:
+      return "PigLatin:job_" + std::to_string(tag) + ".pig";
+    case trace::Framework::kOozie:
+      return "oozie:launcher:T=map-reduce:W=wf_" + std::to_string(tag);
+    case trace::Framework::kNative:
+      return first_word + "_" + std::to_string(tag);
+  }
+  return first_word;
+}
+
+}  // namespace swim::workloads

@@ -1,0 +1,22 @@
+#ifndef SWIM_WORKLOADS_NAME_GENERATOR_H_
+#define SWIM_WORKLOADS_NAME_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace swim::workloads {
+
+/// Expands a first word into a full job name with framework-appropriate
+/// decoration, e.g. "insert" -> "INSERT OVERWRITE TABLE t_417(Stage-1)"
+/// (Hive), "piglatin" -> "PigLatin:report_417.pig" (Pig),
+/// "oozie" -> "oozie:launcher:T=map-reduce:W=wf-417". The decoration
+/// matters only for realism: the paper's section 6.1 analysis reduces names
+/// back to the lowercased first word.
+std::string DecorateJobName(const std::string& first_word, uint64_t job_id,
+                            Pcg32& rng);
+
+}  // namespace swim::workloads
+
+#endif  // SWIM_WORKLOADS_NAME_GENERATOR_H_

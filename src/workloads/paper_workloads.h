@@ -1,0 +1,35 @@
+#ifndef SWIM_WORKLOADS_PAPER_WORKLOADS_H_
+#define SWIM_WORKLOADS_PAPER_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "workloads/workload_spec.h"
+
+namespace swim::workloads {
+
+/// The seven workloads the paper analyzes, as calibrated generator specs:
+/// CC-a .. CC-e (Cloudera customers in e-commerce, telecom, media, retail)
+/// and FB-2009 / FB-2010 (the same Facebook cluster two years apart).
+///
+/// Calibration sources, all from the paper:
+///  - Table 1: total jobs, trace span, cluster size, year.
+///  - Table 2: job classes (mixture medians and weights, labels).
+///  - Figure 2: Zipf file-popularity slope ~ 5/6.
+///  - Figures 5/6: re-access recency half-life and re-access fractions.
+///  - Figure 8 / section 5.2: burstiness (peak-to-median targets; FB-2009
+///    31:1, FB-2010 9:1, overall range 9:1 - 260:1).
+///  - Figure 10: job-name first words and framework mix.
+///  - Section 5.1: visible diurnality for FB-2010 submissions and CC-e.
+std::vector<WorkloadSpec> AllPaperWorkloads();
+
+/// Looks up one of the seven specs by Table 1 name ("FB-2009", "CC-a", ...).
+StatusOr<WorkloadSpec> PaperWorkloadByName(const std::string& name);
+
+/// Names of all seven workloads in Table 1 order.
+std::vector<std::string> PaperWorkloadNames();
+
+}  // namespace swim::workloads
+
+#endif  // SWIM_WORKLOADS_PAPER_WORKLOADS_H_

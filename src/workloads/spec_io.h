@@ -1,0 +1,26 @@
+#ifndef SWIM_WORKLOADS_SPEC_IO_H_
+#define SWIM_WORKLOADS_SPEC_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "workloads/workload_spec.h"
+
+namespace swim::workloads {
+
+/// Serializes a workload spec as a self-contained text file, so users can
+/// define their own workloads for swim_generate (or tweak the calibrated
+/// paper specs) without recompiling. The format is line-oriented
+/// key=value with one `job_type=` line per mixture component; see
+/// SpecToText's output for a template.
+std::string SpecToText(const WorkloadSpec& spec);
+
+/// Parses SpecToText's format. The result is validated (ValidateSpec).
+StatusOr<WorkloadSpec> SpecFromText(const std::string& text);
+
+Status SaveSpec(const WorkloadSpec& spec, const std::string& path);
+StatusOr<WorkloadSpec> LoadSpec(const std::string& path);
+
+}  // namespace swim::workloads
+
+#endif  // SWIM_WORKLOADS_SPEC_IO_H_

@@ -1,0 +1,46 @@
+#ifndef SWIM_WORKLOADS_TRACE_GENERATOR_H_
+#define SWIM_WORKLOADS_TRACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "trace/trace.h"
+#include "workloads/workload_spec.h"
+
+namespace swim::workloads {
+
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  /// Overrides WorkloadSpec::total_jobs when non-zero. Use to scale a
+  /// workload down (or up) while preserving its per-job statistics - the
+  /// paper's "scaled-down workloads" discussion (section 7).
+  size_t job_count_override = 0;
+  /// Overrides WorkloadSpec::span_seconds when positive.
+  double span_override_seconds = 0.0;
+};
+
+/// Synthesizes a full job trace from a declarative workload description.
+///
+/// This is the substitution for the paper's proprietary Facebook/Cloudera
+/// traces: the generator's parameters are the statistics the paper
+/// publishes, so the analysis pipelines downstream see data with the same
+/// shape (see DESIGN.md, "Substitutions"). The generation process:
+///
+///  1. Arrival envelope: an hourly rate = diurnal cycle x weekly cycle x
+///     AR(1) lognormal burst modulation; each job's submit hour is a
+///     weighted draw, its offset uniform within the hour.
+///  2. Job dimensions: a lognormal mixture whose component medians/weights
+///     are Table 2 rows; one shared per-job factor correlates bytes with
+///     task-seconds (the paper's strongest time-series correlation).
+///  3. Names: per-class first-word grammars (Figure 10 masses), decorated
+///     per framework.
+///  4. File population: Zipf(popularity slope ~5/6) input universe plus
+///     output-chaining and recency-biased re-access (Figures 2, 5, 6).
+///
+/// Deterministic: same (spec, options) => bit-identical trace.
+StatusOr<trace::Trace> GenerateTrace(const WorkloadSpec& spec,
+                                     const GeneratorOptions& options = {});
+
+}  // namespace swim::workloads
+
+#endif  // SWIM_WORKLOADS_TRACE_GENERATOR_H_

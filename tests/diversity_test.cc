@@ -1,0 +1,78 @@
+#include <vector>
+
+#include "core/analysis/diversity.h"
+#include "gtest/gtest.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+namespace swim::core {
+namespace {
+
+WorkloadReport ReportFor(const char* name, size_t jobs) {
+  auto spec = workloads::PaperWorkloadByName(name);
+  workloads::GeneratorOptions options;
+  options.job_count_override = jobs;
+  auto trace = workloads::GenerateTrace(*spec, options);
+  SWIM_CHECK_OK(trace.status());
+  auto report = AnalyzeWorkload(*trace);
+  SWIM_CHECK_OK(report.status());
+  return *std::move(report);
+}
+
+TEST(DiversityTest, RequiresTwoWorkloads) {
+  EXPECT_FALSE(CompareWorkloads({}).ok());
+  std::vector<WorkloadReport> one;
+  one.push_back(ReportFor("CC-b", 500));
+  EXPECT_FALSE(CompareWorkloads(one).ok());
+}
+
+TEST(DiversityTest, CapturesTheStableAndDiverseMetrics) {
+  std::vector<WorkloadReport> reports;
+  for (const char* name : {"CC-b", "CC-c", "CC-e"}) {
+    reports.push_back(ReportFor(name, 4000));
+  }
+  auto comparison = CompareWorkloads(reports);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_EQ(comparison->workload_names.size(), 3u);
+
+  const DiversityMetric* zipf = nullptr;
+  const DiversityMetric* input = nullptr;
+  for (const auto& metric : comparison->metrics) {
+    if (metric.name == "Zipf popularity slope") zipf = &metric;
+    if (metric.name == "median input bytes") input = &metric;
+  }
+  ASSERT_NE(zipf, nullptr);
+  ASSERT_NE(input, nullptr);
+  // The paper's contrast: Zipf slope is the stable feature, data sizes
+  // span orders of magnitude.
+  EXPECT_LT(zipf->cv, 0.3);
+  EXPECT_GT(input->spread_ratio, 100.0);
+  EXPECT_GT(input->cv, zipf->cv);
+}
+
+TEST(DiversityTest, RankingIsByCv) {
+  std::vector<WorkloadReport> reports;
+  reports.push_back(ReportFor("CC-b", 1500));
+  reports.push_back(ReportFor("CC-e", 1500));
+  auto comparison = CompareWorkloads(reports);
+  ASSERT_TRUE(comparison.ok());
+  auto ranked = comparison->RankedByDiversity();
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1]->cv, ranked[i]->cv);
+  }
+}
+
+TEST(DiversityTest, FormatListsMetrics) {
+  std::vector<WorkloadReport> reports;
+  reports.push_back(ReportFor("CC-b", 1000));
+  reports.push_back(ReportFor("CC-c", 1000));
+  auto comparison = CompareWorkloads(reports);
+  ASSERT_TRUE(comparison.ok());
+  std::string text = FormatDiversity(*comparison);
+  EXPECT_NE(text.find("Zipf popularity slope"), std::string::npos);
+  EXPECT_NE(text.find("median input bytes"), std::string::npos);
+  EXPECT_NE(text.find("CV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swim::core

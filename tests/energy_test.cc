@@ -1,0 +1,80 @@
+#include "gtest/gtest.h"
+#include "sim/energy.h"
+#include "sim/replay.h"
+#include "trace/trace.h"
+
+namespace swim::sim {
+namespace {
+
+ReplayResult FakeReplay(std::vector<double> hourly_occupancy) {
+  ReplayResult result;
+  result.hourly_occupancy = std::move(hourly_occupancy);
+  return result;
+}
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cluster;
+  cluster.nodes = 10;
+  cluster.map_slots_per_node = 8;
+  cluster.reduce_slots_per_node = 2;  // 100 slots total
+  return cluster;
+}
+
+TEST(EnergyTest, IdleClusterSavesAlmostEverything) {
+  auto report = EstimateEnergy(FakeReplay({0.0, 0.0, 0.0}), SmallCluster());
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(report->power_proportional_kwh, 0.0);
+  EXPECT_GT(report->always_on_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(report->savings_fraction, 1.0);
+}
+
+TEST(EnergyTest, FullLoadSavesNothing) {
+  // All 100 slots busy every hour: proportional == always-on.
+  auto report = EstimateEnergy(FakeReplay({100.0, 100.0}), SmallCluster());
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_occupancy, 1.0);
+  EXPECT_NEAR(report->savings_fraction, 0.0, 1e-9);
+}
+
+TEST(EnergyTest, HalfLoadArithmetic) {
+  // 50 of 100 slots busy for one hour. Always-on: 10 nodes at
+  // (150 + 150*0.5) = 225 W -> 2.25 kWh. Proportional: ceil(50/10)=5
+  // nodes at 300 W -> 1.5 kWh.
+  auto report = EstimateEnergy(FakeReplay({50.0}), SmallCluster());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->always_on_kwh, 2.25, 1e-9);
+  EXPECT_NEAR(report->power_proportional_kwh, 1.5, 1e-9);
+  EXPECT_NEAR(report->savings_fraction, 1.0 - 1.5 / 2.25, 1e-9);
+}
+
+TEST(EnergyTest, BurstierLoadSavesMoreAtEqualWork) {
+  // Same total slot-hours (60), spread flat vs bursty.
+  auto flat = EstimateEnergy(FakeReplay({20, 20, 20}), SmallCluster());
+  auto bursty = EstimateEnergy(FakeReplay({60, 0, 0}), SmallCluster());
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(bursty.ok());
+  EXPECT_GT(bursty->savings_fraction, flat->savings_fraction - 1e-9);
+}
+
+TEST(EnergyTest, RejectsBadInputs) {
+  EXPECT_FALSE(EstimateEnergy(FakeReplay({}), SmallCluster()).ok());
+  EnergyModel model;
+  model.busy_watts = 10;
+  model.idle_watts = 50;  // busy < idle
+  EXPECT_FALSE(
+      EstimateEnergy(FakeReplay({1.0}), SmallCluster(), model).ok());
+  ClusterConfig empty;
+  empty.nodes = 0;
+  EXPECT_FALSE(EstimateEnergy(FakeReplay({1.0}), empty).ok());
+}
+
+TEST(EnergyTest, OccupancyAboveCapacityClamps) {
+  // Defensive: occupancy reported above capacity clamps utilization at 1.
+  auto report = EstimateEnergy(FakeReplay({500.0}), SmallCluster());
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_occupancy, 1.0);
+}
+
+}  // namespace
+}  // namespace swim::sim

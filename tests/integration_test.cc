@@ -1,0 +1,125 @@
+#include <cstdio>
+#include <string>
+
+#include "common/units.h"
+#include "core/analysis/workload_report.h"
+#include "core/synth/fidelity.h"
+#include "core/synth/scale_down.h"
+#include "core/synth/synthesizer.h"
+#include "core/synth/workload_model.h"
+#include "gtest/gtest.h"
+#include "sim/replay.h"
+#include "storage/access_stream.h"
+#include "storage/cache.h"
+#include "trace/trace_io.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+namespace swim {
+namespace {
+
+/// End-to-end: the full pipeline a downstream user runs - generate a
+/// calibrated workload, persist it, analyze it, fit a model, synthesize a
+/// replica, and replay both on the simulated cluster.
+TEST(IntegrationTest, GenerateAnalyzeSynthesizeReplay) {
+  auto spec = workloads::PaperWorkloadByName("CC-e");
+  ASSERT_TRUE(spec.ok());
+  workloads::GeneratorOptions gen_options;
+  gen_options.job_count_override = 5000;
+  gen_options.seed = 99;
+  auto source = workloads::GenerateTrace(*spec, gen_options);
+  ASSERT_TRUE(source.ok());
+
+  // 1. CSV round trip through a file.
+  std::string path = ::testing::TempDir() + "/swim_integration.csv";
+  ASSERT_TRUE(trace::WriteTraceCsv(*source, path).ok());
+  auto loaded = trace::ReadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), source->size());
+  std::remove(path.c_str());
+
+  // 2. Full analysis pipeline.
+  auto report = core::AnalyzeWorkload(*loaded);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->summary.jobs, 5000u);
+  EXPECT_GT(report->classes.fraction_under_10gb, 0.85);
+  EXPECT_GT(report->burstiness.task_seconds.PeakToMedian(), 2.0);
+
+  // 3. Model + synthesis.
+  auto model = core::BuildModel(*loaded);
+  ASSERT_TRUE(model.ok());
+  core::SynthesisOptions synth_options;
+  synth_options.job_count = 5000;
+  auto synth = core::SynthesizeTrace(*model, synth_options);
+  ASSERT_TRUE(synth.ok());
+  core::FidelityReport fidelity = core::CompareTraces(*loaded, *synth);
+  EXPECT_LT(fidelity.max_ks, 0.1) << core::FormatFidelity(fidelity);
+
+  // 4. Replay source and synthetic on the same cluster; aggregate load
+  // must be comparable.
+  sim::ReplayOptions replay_options;
+  replay_options.cluster.nodes = 100;
+  replay_options.scheduler = "fair";
+  auto source_replay = sim::ReplayTrace(*loaded, replay_options);
+  auto synth_replay = sim::ReplayTrace(*synth, replay_options);
+  ASSERT_TRUE(source_replay.ok());
+  ASSERT_TRUE(synth_replay.ok());
+  EXPECT_EQ(source_replay->outcomes.size(), 5000u);
+  EXPECT_EQ(synth_replay->outcomes.size(), 5000u);
+  double source_busy = 0, synth_busy = 0;
+  for (double o : source_replay->hourly_occupancy) source_busy += o;
+  for (double o : synth_replay->hourly_occupancy) synth_busy += o;
+  ASSERT_GT(source_busy, 0.0);
+  EXPECT_NEAR(synth_busy / source_busy, 1.0, 0.35);
+}
+
+/// The cache-policy pipeline the paper's section 4 claims rest on.
+TEST(IntegrationTest, CachePoliciesOnGeneratedWorkload) {
+  auto spec = workloads::PaperWorkloadByName("CC-c");
+  workloads::GeneratorOptions options;
+  options.job_count_override = 8000;
+  auto trace = workloads::GenerateTrace(*spec, options);
+  ASSERT_TRUE(trace.ok());
+  auto accesses = storage::ExtractAccesses(*trace);
+  ASSERT_GT(accesses.size(), 8000u);
+
+  storage::UnboundedCache unbounded;
+  storage::ReplayAccesses(accesses, unbounded);
+  double intrinsic = unbounded.stats().HitRate();
+  // CC-c has ~78% combined re-access (Figure 6); the intrinsic hit rate of
+  // an infinite cache should be in that neighborhood.
+  EXPECT_GT(intrinsic, 0.5);
+
+  storage::LruCache lru(10 * kTB);
+  storage::ReplayAccesses(accesses, lru);
+  EXPECT_GT(lru.stats().HitRate(), 0.3);
+  EXPECT_LE(lru.stats().HitRate(), intrinsic + 1e-9);
+}
+
+/// Scaled-down replay: a 10x smaller cluster still completes a 10x
+/// data-scaled workload with comparable utilization (the SWIM use case).
+TEST(IntegrationTest, ScaledDownReplayCompletes) {
+  auto spec = workloads::PaperWorkloadByName("CC-b");
+  workloads::GeneratorOptions options;
+  options.job_count_override = 2000;
+  auto trace = workloads::GenerateTrace(*spec, options);
+  ASSERT_TRUE(trace.ok());
+
+  core::ScaleDownOptions scale;
+  scale.data_factor = 0.1;
+  auto scaled = core::ScaleDownTrace(*trace, scale);
+  ASSERT_TRUE(scaled.ok());
+
+  sim::ReplayOptions full_cluster;
+  full_cluster.cluster.nodes = 300;
+  sim::ReplayOptions small_cluster;
+  small_cluster.cluster.nodes = 30;
+  auto full = sim::ReplayTrace(*trace, full_cluster);
+  auto small = sim::ReplayTrace(*scaled, small_cluster);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->outcomes.size(), full->outcomes.size());
+}
+
+}  // namespace
+}  // namespace swim

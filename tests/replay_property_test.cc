@@ -1,0 +1,130 @@
+#include <string>
+#include <tuple>
+
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "sim/replay.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+namespace swim::sim {
+namespace {
+
+trace::Trace WorkloadSlice(const char* name, size_t jobs, uint64_t seed) {
+  auto spec = workloads::PaperWorkloadByName(name);
+  workloads::GeneratorOptions options;
+  options.job_count_override = jobs;
+  options.seed = seed;
+  auto trace = workloads::GenerateTrace(*spec, options);
+  SWIM_CHECK_OK(trace.status());
+  return *std::move(trace);
+}
+
+/// Invariants that must hold for every scheduling policy on every
+/// workload shape: work conservation, completion, bounded utilization.
+class SchedulerInvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(SchedulerInvariantTest, ConservesWorkAndCompletes) {
+  auto [workload, policy] = GetParam();
+  trace::Trace t = WorkloadSlice(workload.c_str(), 2000, 31);
+  ReplayOptions options;
+  options.cluster.nodes = 200;
+  options.scheduler = policy;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+
+  // Every job completes.
+  EXPECT_EQ(result->outcomes.size(), t.size());
+  EXPECT_EQ(result->unfinished_jobs, 0u);
+
+  // Occupancy integral == total task-seconds (tasks are neither lost nor
+  // duplicated by batching).
+  double total_task_seconds = 0.0;
+  for (const auto& job : t.jobs()) {
+    // The engine floors per-task durations at 1 ms, so compare against
+    // the effective (floored) work.
+    int64_t maps = std::min<int64_t>(std::max<int64_t>(job.map_tasks, 1),
+                                     options.max_tasks_per_job);
+    total_task_seconds +=
+        std::max(job.map_task_seconds, 1e-3 * static_cast<double>(maps));
+    int64_t reduces =
+        std::min<int64_t>(job.reduce_tasks, options.max_tasks_per_job);
+    if (reduces > 0) {
+      total_task_seconds += std::max(
+          job.reduce_task_seconds, 1e-3 * static_cast<double>(reduces));
+    }
+  }
+  double integral = 0.0;
+  for (double o : result->hourly_occupancy) integral += o * 3600.0;
+  EXPECT_NEAR(integral, total_task_seconds, total_task_seconds * 1e-6 + 1.0);
+
+  // Utilization in [0, 1]; latencies >= ideal.
+  EXPECT_GE(result->utilization, 0.0);
+  EXPECT_LE(result->utilization, 1.0 + 1e-9);
+  for (const auto& outcome : result->outcomes) {
+    EXPECT_GE(outcome.latency + 1e-6, outcome.ideal_latency);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsXPolicies, SchedulerInvariantTest,
+    ::testing::Combine(::testing::Values("CC-b", "CC-e", "FB-2010"),
+                       ::testing::Values("fifo", "fair", "two-tier")),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+/// More cluster capacity never increases total makespan under FIFO
+/// (slot-count monotonicity).
+class ClusterSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSizeTest, MoreNodesNeverSlower) {
+  trace::Trace t = WorkloadSlice("CC-b", 1500, 77);
+  ReplayOptions small_cluster;
+  small_cluster.cluster.nodes = GetParam();
+  ReplayOptions big_cluster;
+  big_cluster.cluster.nodes = GetParam() * 2;
+  auto small_result = ReplayTrace(t, small_cluster);
+  auto big_result = ReplayTrace(t, big_cluster);
+  ASSERT_TRUE(small_result.ok());
+  ASSERT_TRUE(big_result.ok());
+  EXPECT_LE(big_result->makespan, small_result->makespan * 1.001 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterSizeTest,
+                         ::testing::Values(5, 20, 80));
+
+/// Straggler probability monotonicity: more stragglers, no faster tails.
+TEST(StragglerPropertyTest, TailLatencyMonotoneInProbability) {
+  trace::Trace t = WorkloadSlice("CC-e", 1500, 41);
+  double previous = 0.0;
+  for (double p : {0.0, 0.1, 0.4}) {
+    ReplayOptions options;
+    options.cluster.nodes = 100;
+    options.straggler_probability = p;
+    options.straggler_factor = 10.0;
+    auto result = ReplayTrace(t, options);
+    ASSERT_TRUE(result.ok());
+    double p99 = result->LatencyQuantile(true, 0.99);
+    EXPECT_GE(p99 + 1e-6, previous);
+    previous = p99;
+  }
+}
+
+/// The latency-quantile helpers behave on empty tiers.
+TEST(ReplayResultTest, EmptyTierQuantiles) {
+  ReplayResult result;
+  EXPECT_EQ(result.LatencyQuantile(true, 0.5), 0.0);
+  EXPECT_EQ(result.MeanSlowdown(false), 0.0);
+  EXPECT_EQ(result.CountJobs(true), 0u);
+}
+
+}  // namespace
+}  // namespace swim::sim

@@ -1,0 +1,119 @@
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stats/burstiness.h"
+#include "stats/fourier.h"
+
+namespace swim::stats {
+namespace {
+
+std::vector<double> Sinusoid(size_t n, double period, double offset = 10.0,
+                             double amplitude = 1.0) {
+  std::vector<double> series(n);
+  for (size_t t = 0; t < n; ++t) {
+    series[t] = offset + amplitude * std::sin(2.0 * std::numbers::pi *
+                                              static_cast<double>(t) / period);
+  }
+  return series;
+}
+
+// --- Fourier -------------------------------------------------------------
+
+TEST(FourierTest, DetectsDailyPeriodInHourlyData) {
+  // One week of hourly samples with a 24-hour cycle.
+  auto series = Sinusoid(168, 24.0);
+  SpectralPeak peak = DominantPeriod(series);
+  EXPECT_NEAR(peak.period, 24.0, 0.5);
+  EXPECT_GT(peak.power_fraction, 0.9);
+}
+
+TEST(FourierTest, DetectsWeeklyPeriod) {
+  auto series = Sinusoid(24 * 28, 168.0);
+  SpectralPeak peak = DominantPeriod(series);
+  EXPECT_NEAR(peak.period, 168.0, 1.0);
+}
+
+TEST(FourierTest, ShortSeriesYieldsNothing) {
+  EXPECT_EQ(Periodogram({1, 2, 3}).size(), 0u);
+  EXPECT_EQ(DominantPeriod({1, 2}).power, 0.0);
+}
+
+TEST(FourierTest, ConstantSeriesHasNoPower) {
+  std::vector<double> flat(100, 7.0);
+  for (const auto& peak : Periodogram(flat)) {
+    EXPECT_NEAR(peak.power, 0.0, 1e-9);
+  }
+}
+
+TEST(FourierTest, PeriodStrengthSelective) {
+  auto series = Sinusoid(168, 24.0);
+  EXPECT_GT(PeriodStrength(series, 24.0), 0.9);
+  EXPECT_LT(PeriodStrength(series, 80.0, 2.0), 0.05);
+}
+
+TEST(FourierTest, PowerFractionsSumToOne) {
+  auto series = Sinusoid(96, 24.0, 5.0, 2.0);
+  double total = 0.0;
+  for (const auto& peak : Periodogram(series)) total += peak.power_fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// --- Burstiness ------------------------------------------------------------
+
+TEST(BurstinessTest, ConstantSeriesIsVertical) {
+  BurstinessProfile profile(std::vector<double>(100, 4.0));
+  EXPECT_DOUBLE_EQ(profile.PeakToMedian(), 1.0);
+  EXPECT_DOUBLE_EQ(profile.RatioAtPercentile(10), 1.0);
+}
+
+TEST(BurstinessTest, KnownPeakToMedian) {
+  // 99 hours at rate 2, 1 hour at rate 50: median 2, peak 50.
+  std::vector<double> series(99, 2.0);
+  series.push_back(50.0);
+  BurstinessProfile profile(series);
+  EXPECT_NEAR(profile.PeakToMedian(), 25.0, 1e-9);
+}
+
+TEST(BurstinessTest, SineReferencesMatchPaper) {
+  // "sine + 2": min-max range (2) equals the mean (2) -> peak/median = 1.5.
+  BurstinessProfile low(SineReferenceSeries(2.0));
+  EXPECT_NEAR(low.PeakToMedian(), 1.5, 0.02);
+  // "sine + 20": range is 10% of the mean -> peak/median ~ 1.05.
+  BurstinessProfile high(SineReferenceSeries(20.0));
+  EXPECT_NEAR(high.PeakToMedian(), 1.05, 0.005);
+}
+
+TEST(BurstinessTest, BurstierSeriesHasHigherRatios) {
+  std::vector<double> calm = SineReferenceSeries(20.0);
+  std::vector<double> bursty(168, 1.0);
+  for (size_t i = 0; i < bursty.size(); i += 24) bursty[i] = 100.0;
+  BurstinessProfile calm_profile(calm);
+  BurstinessProfile bursty_profile(bursty);
+  EXPECT_GT(bursty_profile.PeakToMedian(), calm_profile.PeakToMedian());
+  EXPECT_GT(bursty_profile.P99ToMedian(), calm_profile.P99ToMedian());
+}
+
+TEST(BurstinessTest, ZeroMedianIsDegenerate) {
+  std::vector<double> mostly_zero(100, 0.0);
+  mostly_zero[0] = 5.0;
+  BurstinessProfile profile(mostly_zero);
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.PeakToMedian(), 0.0);
+}
+
+TEST(BurstinessTest, CurveIsMonotoneWith101Points) {
+  std::vector<double> series;
+  for (int i = 1; i <= 200; ++i) series.push_back(static_cast<double>(i));
+  BurstinessProfile profile(series);
+  auto curve = profile.Curve();
+  ASSERT_EQ(curve.size(), 101u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_NEAR(curve[50], 1.0, 0.02);  // median normalizes to ~1
+}
+
+}  // namespace
+}  // namespace swim::stats

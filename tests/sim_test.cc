@@ -1,0 +1,261 @@
+#include <cmath>
+
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "sim/replay.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+
+namespace swim::sim {
+namespace {
+
+trace::JobRecord SimpleJob(uint64_t id, double submit, int64_t maps,
+                           double map_secs, int64_t reduces = 0,
+                           double reduce_secs = 0.0, double bytes = 1e6) {
+  trace::JobRecord job;
+  job.job_id = id;
+  job.submit_time = submit;
+  job.duration = map_secs + reduce_secs;
+  job.input_bytes = bytes;
+  job.map_tasks = maps;
+  job.map_task_seconds = map_secs;
+  job.reduce_tasks = reduces;
+  job.reduce_task_seconds = reduce_secs;
+  if (reduces > 0) job.shuffle_bytes = bytes / 10;
+  return job;
+}
+
+ReplayOptions SmallCluster(const std::string& scheduler = "fifo") {
+  ReplayOptions options;
+  options.cluster.nodes = 1;
+  options.cluster.map_slots_per_node = 2;
+  options.cluster.reduce_slots_per_node = 2;
+  options.scheduler = scheduler;
+  return options;
+}
+
+// --- Basic execution -------------------------------------------------------
+
+TEST(ReplayTest, SingleJobRunsAtIdealLatency) {
+  trace::Trace t;
+  // 2 map tasks of 50s each on 2 map slots -> one wave of 50s, then one
+  // reduce task of 30s.
+  t.AddJob(SimpleJob(1, 0, 2, 100, 1, 30));
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  EXPECT_NEAR(result->outcomes[0].latency, 80.0, 0.01);
+  EXPECT_NEAR(result->outcomes[0].ideal_latency, 80.0, 0.01);
+  EXPECT_NEAR(result->outcomes[0].Slowdown(), 1.0, 0.01);
+}
+
+TEST(ReplayTest, MultipleWavesWhenSlotsScarce) {
+  trace::Trace t;
+  // 4 map tasks of 25s each on 2 slots -> two waves of 25s = 50s.
+  t.AddJob(SimpleJob(1, 0, 4, 100));
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->outcomes[0].latency, 50.0, 0.01);
+  // Ideal (one wave) would be 25s.
+  EXPECT_NEAR(result->outcomes[0].Slowdown(), 2.0, 0.01);
+}
+
+TEST(ReplayTest, ReducesWaitForMaps) {
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0, 1, 40, 1, 40));
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->outcomes[0].latency, 80.0, 0.01);
+}
+
+TEST(ReplayTest, AllJobsComplete) {
+  trace::Trace t;
+  for (int i = 0; i < 50; ++i) {
+    t.AddJob(SimpleJob(i + 1, i * 5.0, 1 + i % 3, 30.0 + i, i % 2, 10));
+  }
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes.size(), 50u);
+}
+
+TEST(ReplayTest, DeterministicForSeed) {
+  trace::Trace t;
+  for (int i = 0; i < 30; ++i) {
+    t.AddJob(SimpleJob(i + 1, i * 3.0, 2, 40, 1, 20));
+  }
+  ReplayOptions options = SmallCluster();
+  options.straggler_probability = 0.2;
+  auto a = ReplayTrace(t, options);
+  auto b = ReplayTrace(t, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->outcomes.size(), b->outcomes.size());
+  for (size_t i = 0; i < a->outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->outcomes[i].latency, b->outcomes[i].latency);
+  }
+}
+
+// --- Occupancy conservation ---------------------------------------------------
+
+TEST(ReplayTest, OccupancyIntegralEqualsTaskSeconds) {
+  trace::Trace t;
+  double total_task_seconds = 0;
+  for (int i = 0; i < 20; ++i) {
+    t.AddJob(SimpleJob(i + 1, i * 100.0, 2, 60, 1, 30));
+    total_task_seconds += 90;
+  }
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  double integral = 0;
+  for (double o : result->hourly_occupancy) integral += o * 3600.0;
+  EXPECT_NEAR(integral, total_task_seconds, 1.0);
+}
+
+TEST(ReplayTest, UtilizationBounded) {
+  trace::Trace t;
+  for (int i = 0; i < 100; ++i) t.AddJob(SimpleJob(i + 1, i * 1.0, 4, 200));
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->utilization, 0.0);
+  EXPECT_LE(result->utilization, 1.0 + 1e-9);
+}
+
+// --- Task capping ---------------------------------------------------------------
+
+TEST(ReplayTest, TaskCapPreservesTaskSeconds) {
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0, 100000, 5000.0));
+  ReplayOptions options = SmallCluster();
+  options.max_tasks_per_job = 10;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  // 10 merged tasks of 500s on 2 slots -> 5 waves of 500s = 2500s.
+  EXPECT_NEAR(result->outcomes[0].latency, 2500.0, 0.1);
+}
+
+// --- Scheduler comparisons --------------------------------------------------------
+
+/// One huge job submitted just before many small jobs: the paper's
+/// head-of-line-blocking scenario (section 6.2: "poor management of a
+/// single large job potentially impacts performance for a large number of
+/// small jobs").
+trace::Trace HeadOfLineTrace() {
+  trace::Trace t;
+  trace::JobRecord huge = SimpleJob(1, 0, 40, 40 * 600.0, 0, 0, 1e13);
+  t.AddJob(huge);
+  for (int i = 0; i < 20; ++i) {
+    t.AddJob(SimpleJob(2 + i, 1.0 + i, 1, 10, 0, 0, 1e6));
+  }
+  return t;
+}
+
+TEST(SchedulerTest, FifoBlocksSmallJobsBehindHuge) {
+  auto fifo = ReplayTrace(HeadOfLineTrace(), SmallCluster("fifo"));
+  auto fair = ReplayTrace(HeadOfLineTrace(), SmallCluster("fair"));
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(fair.ok());
+  double fifo_small_p50 = fifo->LatencyQuantile(/*small_jobs=*/true, 0.5);
+  double fair_small_p50 = fair->LatencyQuantile(/*small_jobs=*/true, 0.5);
+  // Under FIFO the small jobs wait for the huge job's map waves.
+  EXPECT_GT(fifo_small_p50, 10 * fair_small_p50);
+}
+
+TEST(SchedulerTest, TwoTierProtectsSmallJobs) {
+  auto fifo = ReplayTrace(HeadOfLineTrace(), SmallCluster("fifo"));
+  auto tiered = ReplayTrace(HeadOfLineTrace(), SmallCluster("two-tier"));
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_LT(tiered->LatencyQuantile(true, 0.9),
+            fifo->LatencyQuantile(true, 0.9) / 5);
+  // The huge job still completes.
+  EXPECT_EQ(tiered->CountJobs(false), 1u);
+}
+
+TEST(SchedulerTest, FactoryNames) {
+  EXPECT_EQ(MakeScheduler("fifo")->name(), "FIFO");
+  EXPECT_EQ(MakeScheduler("FAIR")->name(), "Fair");
+  EXPECT_EQ(MakeScheduler("two-tier")->name(), "TwoTier");
+  EXPECT_EQ(MakeScheduler("unknown")->name(), "FIFO");  // default
+}
+
+// --- Stragglers ---------------------------------------------------------------------
+
+TEST(StragglerTest, InjectionIncreasesLatency) {
+  trace::Trace t;
+  for (int i = 0; i < 200; ++i) {
+    t.AddJob(SimpleJob(i + 1, i * 50.0, 2, 60, 0, 0));
+  }
+  ReplayOptions clean = SmallCluster();
+  ReplayOptions slow = SmallCluster();
+  slow.straggler_probability = 0.5;
+  slow.straggler_factor = 10.0;
+  auto clean_result = ReplayTrace(t, clean);
+  auto slow_result = ReplayTrace(t, slow);
+  ASSERT_TRUE(clean_result.ok());
+  ASSERT_TRUE(slow_result.ok());
+  EXPECT_GT(slow_result->LatencyQuantile(true, 0.9),
+            clean_result->LatencyQuantile(true, 0.9) * 2);
+}
+
+TEST(StragglerTest, SingleWaveJobsFullyExposed) {
+  // A job with one map task hit by a straggler runs straggler_factor x
+  // longer - the paper's point that few-task jobs cannot hide stragglers.
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0, 1, 100));
+  ReplayOptions options = SmallCluster();
+  options.straggler_probability = 1.0;
+  options.straggler_factor = 5.0;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->outcomes[0].latency, 500.0, 0.1);
+}
+
+TEST(StragglerTest, SpeculationCapsMultiTaskJobs) {
+  // 4 map tasks, all straggling 10x; with speculation the siblings expose
+  // them and the penalty caps at 2x.
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0, 4, 400));  // 4 tasks x 100 s
+  ReplayOptions options = SmallCluster();
+  options.straggler_probability = 1.0;
+  options.straggler_factor = 10.0;
+  auto plain = ReplayTrace(t, options);
+  options.speculative_execution = true;
+  auto speculative = ReplayTrace(t, options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(speculative.ok());
+  // Plain: 2 waves x 1000 s; speculative: 2 waves x 200 s.
+  EXPECT_NEAR(plain->outcomes[0].latency, 2000.0, 0.1);
+  EXPECT_NEAR(speculative->outcomes[0].latency, 400.0, 0.1);
+}
+
+TEST(StragglerTest, SpeculationCannotHelpSingleTaskJobs) {
+  // The paper's section 6.2 point: a single-task job has no sibling to
+  // compare against, so speculation never triggers.
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0, 1, 100));
+  ReplayOptions options = SmallCluster();
+  options.straggler_probability = 1.0;
+  options.straggler_factor = 10.0;
+  options.speculative_execution = true;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->outcomes[0].latency, 1000.0, 0.1);  // full 10x
+}
+
+// --- Validation -----------------------------------------------------------------------
+
+TEST(ReplayTest, RejectsBadInputs) {
+  trace::Trace empty;
+  EXPECT_FALSE(ReplayTrace(empty).ok());
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0, 1, 10));
+  ReplayOptions options;
+  options.cluster.nodes = 0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.max_tasks_per_job = 0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+}
+
+}  // namespace
+}  // namespace swim::sim

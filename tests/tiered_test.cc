@@ -1,0 +1,97 @@
+#include <string>
+
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "storage/tiered.h"
+
+namespace swim::storage {
+namespace {
+
+FileAccess Read(const std::string& path, double bytes, double time = 0) {
+  return FileAccess{time, path, bytes, AccessKind::kRead, 0};
+}
+
+TEST(MakeCacheTest, BuildsEveryPolicy) {
+  for (const char* policy :
+       {"lru", "LFU", "fifo", "size-threshold", "unbounded"}) {
+    auto cache = MakeCache(policy, 1e9);
+    ASSERT_TRUE(cache.ok()) << policy;
+    EXPECT_FALSE((*cache)->name().empty());
+  }
+}
+
+TEST(MakeCacheTest, RejectsBadInputs) {
+  EXPECT_FALSE(MakeCache("arc", 1e9).ok());
+  EXPECT_FALSE(MakeCache("lru", 0).ok());
+  EXPECT_FALSE(MakeCache("size-threshold", 1e9, -1).ok());
+}
+
+TEST(TieredTest, AllHitsRunAtMemorySpeed) {
+  TierConfig config;
+  config.memory_capacity_bytes = 1e9;
+  std::vector<FileAccess> stream;
+  // Warm then re-read: first read misses, next 9 hit.
+  for (int i = 0; i < 10; ++i) stream.push_back(Read("hot", 100 * kMB, i));
+  auto stats = SimulateTieredReads(stream, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache.hits, 9u);
+  // 9 memory reads at 3 GB/s (0.033 s each) + 1 disk read (1.01 s).
+  double expected =
+      9 * (100 * kMB / config.memory_bandwidth) +
+      (config.disk_seek_seconds + 100 * kMB / config.disk_bandwidth);
+  EXPECT_NEAR(stats->read_seconds, expected, 1e-9);
+  EXPECT_GT(stats->Speedup(), 5.0);
+}
+
+TEST(TieredTest, ColdStreamMatchesDiskOnly) {
+  TierConfig config;
+  std::vector<FileAccess> stream;
+  for (int i = 0; i < 20; ++i) {
+    stream.push_back(Read("f" + std::to_string(i), 10 * kMB, i));
+  }
+  auto stats = SimulateTieredReads(stream, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->read_seconds, stats->disk_only_seconds);
+  EXPECT_DOUBLE_EQ(stats->Speedup(), 1.0);
+}
+
+TEST(TieredTest, WritesWarmTheMemoryTier) {
+  TierConfig config;
+  std::vector<FileAccess> stream = {
+      FileAccess{0, "out", 50 * kMB, AccessKind::kWrite, 1},
+      Read("out", 50 * kMB, 10),
+  };
+  auto stats = SimulateTieredReads(stream, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache.hits, 1u);
+  EXPECT_LT(stats->read_seconds, stats->disk_only_seconds);
+}
+
+TEST(TieredTest, SizeThresholdSkipsGiantFiles) {
+  TierConfig config;
+  config.policy = "size-threshold";
+  config.size_threshold_bytes = 1 * kGB;
+  std::vector<FileAccess> stream;
+  for (int i = 0; i < 5; ++i) stream.push_back(Read("giant", 1 * kTB, i));
+  for (int i = 0; i < 5; ++i) stream.push_back(Read("small", 1 * kMB, 10 + i));
+  auto stats = SimulateTieredReads(stream, config);
+  ASSERT_TRUE(stats.ok());
+  // Giant never admitted (4 would-be hits forgone), small hits 4 times.
+  EXPECT_EQ(stats->cache.hits, 4u);
+  EXPECT_GE(stats->cache.admission_rejections, 5u);
+}
+
+TEST(TieredTest, RejectsBadConfig) {
+  TierConfig config;
+  config.memory_bandwidth = 0;
+  EXPECT_FALSE(SimulateTieredReads({}, config).ok());
+  config = {};
+  config.disk_seek_seconds = -1;
+  EXPECT_FALSE(SimulateTieredReads({}, config).ok());
+  config = {};
+  config.policy = "bogus";
+  EXPECT_FALSE(SimulateTieredReads({}, config).ok());
+}
+
+}  // namespace
+}  // namespace swim::storage

@@ -1,0 +1,272 @@
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "trace/filters.h"
+#include "trace/frameworks.h"
+#include "trace/job_record.h"
+#include "trace/summary.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace swim::trace {
+namespace {
+
+JobRecord MakeJob(uint64_t id, double submit, double input = 1e6,
+                  double shuffle = 0.0, double output = 1e5) {
+  JobRecord job;
+  job.job_id = id;
+  job.name = "job_" + std::to_string(id);
+  job.submit_time = submit;
+  job.duration = 30;
+  job.input_bytes = input;
+  job.shuffle_bytes = shuffle;
+  job.output_bytes = output;
+  job.map_tasks = 2;
+  job.reduce_tasks = shuffle > 0 ? 1 : 0;
+  job.map_task_seconds = 40;
+  job.reduce_task_seconds = shuffle > 0 ? 10 : 0;
+  job.input_path = "in/a";
+  job.output_path = "out/" + std::to_string(id);
+  return job;
+}
+
+// --- JobRecord ---------------------------------------------------------
+
+TEST(JobRecordTest, TotalsAndMapOnly) {
+  JobRecord job = MakeJob(1, 0, 100, 50, 25);
+  EXPECT_DOUBLE_EQ(job.TotalBytes(), 175.0);
+  EXPECT_DOUBLE_EQ(job.TotalTaskSeconds(), 50.0);
+  EXPECT_FALSE(job.IsMapOnly());
+  JobRecord map_only = MakeJob(2, 0, 100, 0, 25);
+  EXPECT_TRUE(map_only.IsMapOnly());
+}
+
+TEST(JobRecordTest, ValidationCatchesNegatives) {
+  JobRecord job = MakeJob(1, 0);
+  EXPECT_EQ(ValidateJobRecord(job), "");
+  job.input_bytes = -1;
+  EXPECT_NE(ValidateJobRecord(job), "");
+  job = MakeJob(1, 0);
+  job.submit_time = -5;
+  EXPECT_NE(ValidateJobRecord(job), "");
+  job = MakeJob(1, 0);
+  job.reduce_tasks = 0;
+  job.reduce_task_seconds = 10;
+  EXPECT_NE(ValidateJobRecord(job), "");
+}
+
+// --- Trace ----------------------------------------------------------------
+
+TEST(TraceTest, MaintainsSubmitOrder) {
+  Trace trace;
+  trace.AddJob(MakeJob(1, 100));
+  trace.AddJob(MakeJob(2, 50));
+  trace.AddJob(MakeJob(3, 75));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.StartTime(), 50.0);
+  EXPECT_EQ(trace.jobs()[0].job_id, 2u);
+  EXPECT_EQ(trace.jobs()[2].job_id, 1u);
+}
+
+TEST(TraceTest, SpanCoversDurations) {
+  Trace trace;
+  JobRecord job = MakeJob(1, 100);
+  job.duration = 500;
+  trace.AddJob(job);
+  trace.AddJob(MakeJob(2, 200));
+  EXPECT_DOUBLE_EQ(trace.EndTime(), 600.0);
+  EXPECT_DOUBLE_EQ(trace.Span(), 500.0);
+}
+
+TEST(TraceTest, EmptyTraceZeroes) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.StartTime(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.EndTime(), 0.0);
+  EXPECT_TRUE(trace.HourlyJobCounts().empty());
+}
+
+TEST(TraceTest, HourlySeriesBucketsBySubmitHour) {
+  Trace trace;
+  trace.AddJob(MakeJob(1, 0));
+  trace.AddJob(MakeJob(2, 1800));
+  trace.AddJob(MakeJob(3, 3700));
+  auto counts = trace.HourlyJobCounts();
+  ASSERT_GE(counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts[1], 1.0);
+}
+
+TEST(TraceTest, HourlyBytesAndTaskSeconds) {
+  Trace trace;
+  trace.AddJob(MakeJob(1, 0, 100, 10, 1));
+  auto bytes = trace.HourlyBytes();
+  auto tasks = trace.HourlyTaskSeconds();
+  EXPECT_DOUBLE_EQ(bytes[0], 111.0);
+  EXPECT_DOUBLE_EQ(tasks[0], 50.0);
+}
+
+TEST(TraceTest, ValidateFindsBadJob) {
+  Trace trace;
+  trace.AddJob(MakeJob(1, 0));
+  EXPECT_TRUE(trace.Validate().ok());
+  JobRecord bad = MakeJob(2, 10);
+  bad.duration = -1;
+  trace.AddJob(bad);
+  EXPECT_FALSE(trace.Validate().ok());
+}
+
+// --- CSV I/O -----------------------------------------------------------------
+
+TEST(TraceIoTest, RoundTripsInMemory) {
+  Trace trace;
+  trace.mutable_metadata().name = "test";
+  trace.mutable_metadata().machines = 42;
+  trace.mutable_metadata().year = 2011;
+  trace.AddJob(MakeJob(1, 0));
+  trace.AddJob(MakeJob(2, 3600, 5e9, 1e9, 2e8));
+  std::string csv = TraceToCsv(trace);
+  auto parsed = TraceFromCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->metadata().name, "test");
+  EXPECT_EQ(parsed->metadata().machines, 42);
+  EXPECT_EQ(parsed->metadata().year, 2011);
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->jobs()[0], trace.jobs()[0]);
+  EXPECT_EQ(parsed->jobs()[1], trace.jobs()[1]);
+}
+
+TEST(TraceIoTest, QuotesCommasInNames) {
+  Trace trace;
+  JobRecord job = MakeJob(1, 0);
+  job.name = "INSERT OVERWRITE TABLE a,b \"quoted\"";
+  trace.AddJob(job);
+  auto parsed = TraceFromCsv(TraceToCsv(trace));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->jobs()[0].name, job.name);
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  EXPECT_FALSE(TraceFromCsv("1,2,3\n").ok());
+  EXPECT_FALSE(TraceFromCsv("").ok());
+}
+
+TEST(TraceIoTest, RejectsBadFieldCount) {
+  std::string csv = std::string(kTraceCsvHeader) + "\n1,name,0\n";
+  auto parsed = TraceFromCsv(csv);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsNonNumeric) {
+  std::string csv = std::string(kTraceCsvHeader) +
+                    "\n1,n,zero,1,1,0,1,1,0,1,0,a,b\n";
+  EXPECT_FALSE(TraceFromCsv(csv).ok());
+}
+
+TEST(TraceIoTest, RejectsInvalidRecord) {
+  // Negative input bytes.
+  std::string csv =
+      std::string(kTraceCsvHeader) + "\n1,n,0,1,-5,0,1,1,0,1,0,a,b\n";
+  EXPECT_FALSE(TraceFromCsv(csv).ok());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Trace trace;
+  trace.mutable_metadata().name = "file-test";
+  trace.AddJob(MakeJob(1, 0));
+  std::string path = ::testing::TempDir() + "/swim_trace_test.csv";
+  ASSERT_TRUE(WriteTraceCsv(trace, path).ok());
+  auto parsed = ReadTraceCsv(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadTraceCsv("/nonexistent/path.csv").ok());
+}
+
+// --- Filters ---------------------------------------------------------------
+
+TEST(FiltersTest, TimeRangeSelectsHalfOpenInterval) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) trace.AddJob(MakeJob(i + 1, i * 100.0));
+  Trace filtered = FilterByTimeRange(trace, 200, 500);
+  EXPECT_EQ(filtered.size(), 3u);
+  EXPECT_DOUBLE_EQ(filtered.StartTime(), 200.0);
+}
+
+TEST(FiltersTest, PredicateFilter) {
+  Trace trace;
+  trace.AddJob(MakeJob(1, 0, 1e3));
+  trace.AddJob(MakeJob(2, 10, 1e12));
+  Trace big = FilterByPredicate(
+      trace, [](const JobRecord& j) { return j.input_bytes > 1e9; });
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big.jobs()[0].job_id, 2u);
+}
+
+TEST(FiltersTest, TakeFirstAndRebase) {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) trace.AddJob(MakeJob(i + 1, 1000.0 + i));
+  Trace head = TakeFirst(trace, 2);
+  EXPECT_EQ(head.size(), 2u);
+  Trace rebased = RebaseToZero(head);
+  EXPECT_DOUBLE_EQ(rebased.StartTime(), 0.0);
+  EXPECT_DOUBLE_EQ(rebased.jobs()[1].submit_time, 1.0);
+}
+
+// --- Summary -----------------------------------------------------------------
+
+TEST(SummaryTest, ComputesTable1Row) {
+  Trace trace;
+  trace.mutable_metadata().name = "X";
+  trace.mutable_metadata().machines = 10;
+  trace.AddJob(MakeJob(1, 0, 100, 10, 1));
+  trace.AddJob(MakeJob(2, 50, 200, 0, 2));  // map-only
+  TraceSummary summary = Summarize(trace);
+  EXPECT_EQ(summary.name, "X");
+  EXPECT_EQ(summary.jobs, 2u);
+  EXPECT_DOUBLE_EQ(summary.bytes_moved, 313.0);
+  EXPECT_EQ(summary.map_only_jobs, 1u);
+  EXPECT_DOUBLE_EQ(summary.median_duration, 30.0);
+}
+
+TEST(SummaryTest, TableFormatsTotals) {
+  TraceSummary a;
+  a.name = "A";
+  a.jobs = 10;
+  a.bytes_moved = 1e12;
+  TraceSummary b;
+  b.name = "B";
+  b.jobs = 5;
+  b.bytes_moved = 2e12;
+  std::string table = FormatSummaryTable({a, b});
+  EXPECT_NE(table.find("Total"), std::string::npos);
+  EXPECT_NE(table.find("15"), std::string::npos);
+  EXPECT_NE(table.find("3 TB"), std::string::npos);
+}
+
+// --- Frameworks -----------------------------------------------------------
+
+TEST(FrameworksTest, ClassifiesKnownWords) {
+  EXPECT_EQ(ClassifyFramework("insert"), Framework::kHive);
+  EXPECT_EQ(ClassifyFramework("select"), Framework::kHive);
+  EXPECT_EQ(ClassifyFramework("from"), Framework::kHive);
+  EXPECT_EQ(ClassifyFramework("piglatin"), Framework::kPig);
+  EXPECT_EQ(ClassifyFramework("oozie"), Framework::kOozie);
+  EXPECT_EQ(ClassifyFramework("ad"), Framework::kNative);
+  EXPECT_EQ(ClassifyFramework(""), Framework::kNative);
+}
+
+TEST(FrameworksTest, NamesAreStable) {
+  EXPECT_EQ(FrameworkName(Framework::kHive), "Hive");
+  EXPECT_EQ(FrameworkName(Framework::kPig), "Pig");
+  EXPECT_EQ(FrameworkName(Framework::kOozie), "Oozie");
+  EXPECT_EQ(FrameworkName(Framework::kNative), "Native");
+}
+
+}  // namespace
+}  // namespace swim::trace

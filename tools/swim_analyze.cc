@@ -1,0 +1,87 @@
+// swim_analyze: run the paper's full workload analysis over a trace.
+//
+//   swim_analyze <trace.csv>              analyze a CSV trace
+//   swim_analyze --workload <name> [n]    analyze a generated paper
+//                                         workload (optionally n jobs)
+//   swim_analyze --list                   list built-in workloads
+//
+// Output: the combined data/temporal/compute report (sections 4-6).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analysis/workload_report.h"
+#include "trace/trace_io.h"
+#include "workloads/paper_workloads.h"
+#include "workloads/trace_generator.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: swim_analyze <trace.csv>\n"
+               "       swim_analyze --workload <name> [jobs]\n"
+               "       swim_analyze --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swim;
+  if (argc < 2) return Usage();
+  std::string arg = argv[1];
+
+  if (arg == "--list") {
+    for (const auto& name : workloads::PaperWorkloadNames()) {
+      auto spec = workloads::PaperWorkloadByName(name);
+      std::printf("%-9s %8zu jobs, %4d machines, %d\n", name.c_str(),
+                  spec->total_jobs, spec->metadata.machines,
+                  spec->metadata.year);
+    }
+    return 0;
+  }
+
+  trace::Trace trace;
+  if (arg == "--workload") {
+    if (argc < 3) return Usage();
+    auto spec = workloads::PaperWorkloadByName(argv[2]);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    workloads::GeneratorOptions options;
+    if (argc > 3) {
+      options.job_count_override =
+          static_cast<size_t>(std::strtoull(argv[3], nullptr, 10));
+    } else if (spec->total_jobs > 100000) {
+      options.job_count_override = 100000;
+      std::fprintf(stderr, "(scaling %s to 100000 jobs; pass a job count "
+                           "to override)\n",
+                   argv[2]);
+    }
+    auto generated = workloads::GenerateTrace(*spec, options);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    trace = *std::move(generated);
+  } else {
+    auto loaded = trace::ReadTraceCsv(arg);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", arg.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = *std::move(loaded);
+  }
+
+  auto report = core::AnalyzeWorkload(trace);
+  if (!report.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", core::FormatReport(*report).c_str());
+  return 0;
+}

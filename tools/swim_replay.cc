@@ -1,0 +1,77 @@
+// swim_replay: replay a trace on the simulated cluster.
+//
+//   swim_replay <trace.csv> [--nodes N] [--scheduler fifo|fair|two-tier]
+//               [--stragglers P]
+//
+// Prints per-tier latency quantiles, utilization, and occupancy peaks -
+// what a scheduler experiment on a real cluster would report.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/units.h"
+#include "sim/replay.h"
+#include "trace/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace swim;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: swim_replay <trace.csv> [--nodes N] "
+                 "[--scheduler fifo|fair|two-tier] [--stragglers P]\n");
+    return 2;
+  }
+  sim::ReplayOptions options;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    if (flag == "--nodes") {
+      options.cluster.nodes = std::atoi(argv[i + 1]);
+    } else if (flag == "--scheduler") {
+      options.scheduler = argv[i + 1];
+    } else if (flag == "--stragglers") {
+      options.straggler_probability = std::atof(argv[i + 1]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  auto trace = trace::ReadTraceCsv(argv[1]);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  auto result = sim::ReplayTrace(*trace, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("replayed %zu jobs on %d nodes under %s\n",
+              result->outcomes.size(), options.cluster.nodes,
+              result->scheduler.c_str());
+  std::printf("  makespan: %s, utilization: %.0f%%\n",
+              FormatDuration(result->makespan).c_str(),
+              100 * result->utilization);
+  for (bool small : {true, false}) {
+    if (result->CountJobs(small) == 0) continue;
+    std::printf("  %s jobs (%zu): p50=%s p90=%s p99=%s mean slowdown=%.1fx\n",
+                small ? "small" : "large", result->CountJobs(small),
+                FormatDuration(result->LatencyQuantile(small, 0.5)).c_str(),
+                FormatDuration(result->LatencyQuantile(small, 0.9)).c_str(),
+                FormatDuration(result->LatencyQuantile(small, 0.99)).c_str(),
+                result->MeanSlowdown(small));
+  }
+  double peak = 0;
+  for (double o : result->hourly_occupancy) peak = std::max(peak, o);
+  std::printf("  peak hourly occupancy: %.0f slots of %d\n", peak,
+              options.cluster.total_map_slots() +
+                  options.cluster.total_reduce_slots());
+  if (result->unfinished_jobs > 0) {
+    std::printf("  WARNING: %zu jobs never completed\n",
+                result->unfinished_jobs);
+  }
+  return 0;
+}

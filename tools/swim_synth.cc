@@ -1,0 +1,76 @@
+// swim_synth: the SWIM pipeline as a command-line tool.
+//
+//   swim_synth fit <trace.csv> <model.swim>        fit + save a model
+//   swim_synth gen <model.swim> <out.csv> [jobs]   synthesize a trace
+//   swim_synth check <trace.csv> <synth.csv>       fidelity report
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/synth/fidelity.h"
+#include "core/synth/synthesizer.h"
+#include "core/synth/workload_model.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: swim_synth fit <trace.csv> <model.swim>\n"
+               "       swim_synth gen <model.swim> <out.csv> [jobs]\n"
+               "       swim_synth check <trace.csv> <synth.csv>\n");
+  return 2;
+}
+
+int Fail(const swim::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swim;
+  if (argc < 4) return Usage();
+  std::string command = argv[1];
+
+  if (command == "fit") {
+    auto trace = trace::ReadTraceCsv(argv[2]);
+    if (!trace.ok()) return Fail(trace.status());
+    auto model = core::BuildModel(*trace);
+    if (!model.ok()) return Fail(model.status());
+    Status saved = core::SaveModel(*model, argv[3]);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("model: %zu exemplars from %zu jobs, span %.0f h, "
+                "Zipf slope %.2f -> %s\n",
+                model->exemplars.size(), model->total_jobs,
+                model->span_seconds / 3600.0, model->file_model.zipf_slope,
+                argv[3]);
+    return 0;
+  }
+  if (command == "gen") {
+    auto model = core::LoadModel(argv[2]);
+    if (!model.ok()) return Fail(model.status());
+    core::SynthesisOptions options;
+    if (argc > 4) {
+      options.job_count =
+          static_cast<size_t>(std::strtoull(argv[4], nullptr, 10));
+    }
+    auto synth = core::SynthesizeTrace(*model, options);
+    if (!synth.ok()) return Fail(synth.status());
+    Status written = trace::WriteTraceCsv(*synth, argv[3]);
+    if (!written.ok()) return Fail(written);
+    std::printf("synthesized %zu jobs -> %s\n", synth->size(), argv[3]);
+    return 0;
+  }
+  if (command == "check") {
+    auto source = trace::ReadTraceCsv(argv[2]);
+    if (!source.ok()) return Fail(source.status());
+    auto synth = trace::ReadTraceCsv(argv[3]);
+    if (!synth.ok()) return Fail(synth.status());
+    core::FidelityReport report = core::CompareTraces(*source, *synth);
+    std::printf("%s", core::FormatFidelity(report).c_str());
+    return report.max_ks < 0.1 ? 0 : 1;
+  }
+  return Usage();
+}
