@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diversity"
+  "../bench/bench_diversity.pdb"
+  "CMakeFiles/bench_diversity.dir/bench_diversity.cc.o"
+  "CMakeFiles/bench_diversity.dir/bench_diversity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_job_names"
+  "../bench/bench_fig10_job_names.pdb"
+  "CMakeFiles/bench_fig10_job_names.dir/bench_fig10_job_names.cc.o"
+  "CMakeFiles/bench_fig10_job_names.dir/bench_fig10_job_names.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_job_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

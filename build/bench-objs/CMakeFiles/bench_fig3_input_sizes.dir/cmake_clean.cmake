@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_input_sizes"
+  "../bench/bench_fig3_input_sizes.pdb"
+  "CMakeFiles/bench_fig3_input_sizes.dir/bench_fig3_input_sizes.cc.o"
+  "CMakeFiles/bench_fig3_input_sizes.dir/bench_fig3_input_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_input_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_reaccess_interval"
+  "../bench/bench_fig5_reaccess_interval.pdb"
+  "CMakeFiles/bench_fig5_reaccess_interval.dir/bench_fig5_reaccess_interval.cc.o"
+  "CMakeFiles/bench_fig5_reaccess_interval.dir/bench_fig5_reaccess_interval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_reaccess_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_reaccess_fraction"
+  "../bench/bench_fig6_reaccess_fraction.pdb"
+  "CMakeFiles/bench_fig6_reaccess_fraction.dir/bench_fig6_reaccess_fraction.cc.o"
+  "CMakeFiles/bench_fig6_reaccess_fraction.dir/bench_fig6_reaccess_fraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_reaccess_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

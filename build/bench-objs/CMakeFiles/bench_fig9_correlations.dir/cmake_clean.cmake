@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_correlations"
+  "../bench/bench_fig9_correlations.pdb"
+  "CMakeFiles/bench_fig9_correlations.dir/bench_fig9_correlations.cc.o"
+  "CMakeFiles/bench_fig9_correlations.dir/bench_fig9_correlations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scheduler_tiers"
+  "../bench/bench_scheduler_tiers.pdb"
+  "CMakeFiles/bench_scheduler_tiers.dir/bench_scheduler_tiers.cc.o"
+  "CMakeFiles/bench_scheduler_tiers.dir/bench_scheduler_tiers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_job_clusters"
+  "../bench/bench_table2_job_clusters.pdb"
+  "CMakeFiles/bench_table2_job_clusters.dir/bench_table2_job_clusters.cc.o"
+  "CMakeFiles/bench_table2_job_clusters.dir/bench_table2_job_clusters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_job_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

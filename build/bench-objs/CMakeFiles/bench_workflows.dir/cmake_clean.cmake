@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_workflows"
+  "../bench/bench_workflows.pdb"
+  "CMakeFiles/bench_workflows.dir/bench_workflows.cc.o"
+  "CMakeFiles/bench_workflows.dir/bench_workflows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

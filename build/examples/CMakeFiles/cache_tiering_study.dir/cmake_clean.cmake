@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tiering_study.dir/cache_tiering_study.cpp.o"
+  "CMakeFiles/cache_tiering_study.dir/cache_tiering_study.cpp.o.d"
+  "cache_tiering_study"
+  "cache_tiering_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tiering_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_study.dir/workflow_study.cpp.o"
+  "CMakeFiles/workflow_study.dir/workflow_study.cpp.o.d"
+  "workflow_study"
+  "workflow_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

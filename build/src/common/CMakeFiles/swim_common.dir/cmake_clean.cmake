@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_common.dir/logging.cc.o"
+  "CMakeFiles/swim_common.dir/logging.cc.o.d"
+  "CMakeFiles/swim_common.dir/random.cc.o"
+  "CMakeFiles/swim_common.dir/random.cc.o.d"
+  "CMakeFiles/swim_common.dir/status.cc.o"
+  "CMakeFiles/swim_common.dir/status.cc.o.d"
+  "CMakeFiles/swim_common.dir/string_util.cc.o"
+  "CMakeFiles/swim_common.dir/string_util.cc.o.d"
+  "CMakeFiles/swim_common.dir/units.cc.o"
+  "CMakeFiles/swim_common.dir/units.cc.o.d"
+  "libswim_common.a"
+  "libswim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

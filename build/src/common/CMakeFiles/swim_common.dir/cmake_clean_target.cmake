@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswim_common.a"
+)

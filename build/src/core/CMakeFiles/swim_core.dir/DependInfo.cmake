@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis/compute.cc" "src/core/CMakeFiles/swim_core.dir/analysis/compute.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/analysis/compute.cc.o.d"
+  "/root/repo/src/core/analysis/data_access.cc" "src/core/CMakeFiles/swim_core.dir/analysis/data_access.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/analysis/data_access.cc.o.d"
+  "/root/repo/src/core/analysis/diversity.cc" "src/core/CMakeFiles/swim_core.dir/analysis/diversity.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/analysis/diversity.cc.o.d"
+  "/root/repo/src/core/analysis/temporal.cc" "src/core/CMakeFiles/swim_core.dir/analysis/temporal.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/analysis/temporal.cc.o.d"
+  "/root/repo/src/core/analysis/workload_report.cc" "src/core/CMakeFiles/swim_core.dir/analysis/workload_report.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/analysis/workload_report.cc.o.d"
+  "/root/repo/src/core/synth/fidelity.cc" "src/core/CMakeFiles/swim_core.dir/synth/fidelity.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/synth/fidelity.cc.o.d"
+  "/root/repo/src/core/synth/scale_down.cc" "src/core/CMakeFiles/swim_core.dir/synth/scale_down.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/synth/scale_down.cc.o.d"
+  "/root/repo/src/core/synth/synthesizer.cc" "src/core/CMakeFiles/swim_core.dir/synth/synthesizer.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/synth/synthesizer.cc.o.d"
+  "/root/repo/src/core/synth/workload_model.cc" "src/core/CMakeFiles/swim_core.dir/synth/workload_model.cc.o" "gcc" "src/core/CMakeFiles/swim_core.dir/synth/workload_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/swim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/swim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_core.dir/analysis/compute.cc.o"
+  "CMakeFiles/swim_core.dir/analysis/compute.cc.o.d"
+  "CMakeFiles/swim_core.dir/analysis/data_access.cc.o"
+  "CMakeFiles/swim_core.dir/analysis/data_access.cc.o.d"
+  "CMakeFiles/swim_core.dir/analysis/diversity.cc.o"
+  "CMakeFiles/swim_core.dir/analysis/diversity.cc.o.d"
+  "CMakeFiles/swim_core.dir/analysis/temporal.cc.o"
+  "CMakeFiles/swim_core.dir/analysis/temporal.cc.o.d"
+  "CMakeFiles/swim_core.dir/analysis/workload_report.cc.o"
+  "CMakeFiles/swim_core.dir/analysis/workload_report.cc.o.d"
+  "CMakeFiles/swim_core.dir/synth/fidelity.cc.o"
+  "CMakeFiles/swim_core.dir/synth/fidelity.cc.o.d"
+  "CMakeFiles/swim_core.dir/synth/scale_down.cc.o"
+  "CMakeFiles/swim_core.dir/synth/scale_down.cc.o.d"
+  "CMakeFiles/swim_core.dir/synth/synthesizer.cc.o"
+  "CMakeFiles/swim_core.dir/synth/synthesizer.cc.o.d"
+  "CMakeFiles/swim_core.dir/synth/workload_model.cc.o"
+  "CMakeFiles/swim_core.dir/synth/workload_model.cc.o.d"
+  "libswim_core.a"
+  "libswim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frameworks/hive.cc" "src/frameworks/CMakeFiles/swim_frameworks.dir/hive.cc.o" "gcc" "src/frameworks/CMakeFiles/swim_frameworks.dir/hive.cc.o.d"
+  "/root/repo/src/frameworks/pig.cc" "src/frameworks/CMakeFiles/swim_frameworks.dir/pig.cc.o" "gcc" "src/frameworks/CMakeFiles/swim_frameworks.dir/pig.cc.o.d"
+  "/root/repo/src/frameworks/query_plan.cc" "src/frameworks/CMakeFiles/swim_frameworks.dir/query_plan.cc.o" "gcc" "src/frameworks/CMakeFiles/swim_frameworks.dir/query_plan.cc.o.d"
+  "/root/repo/src/frameworks/workflow.cc" "src/frameworks/CMakeFiles/swim_frameworks.dir/workflow.cc.o" "gcc" "src/frameworks/CMakeFiles/swim_frameworks.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/swim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_frameworks.dir/hive.cc.o"
+  "CMakeFiles/swim_frameworks.dir/hive.cc.o.d"
+  "CMakeFiles/swim_frameworks.dir/pig.cc.o"
+  "CMakeFiles/swim_frameworks.dir/pig.cc.o.d"
+  "CMakeFiles/swim_frameworks.dir/query_plan.cc.o"
+  "CMakeFiles/swim_frameworks.dir/query_plan.cc.o.d"
+  "CMakeFiles/swim_frameworks.dir/workflow.cc.o"
+  "CMakeFiles/swim_frameworks.dir/workflow.cc.o.d"
+  "libswim_frameworks.a"
+  "libswim_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

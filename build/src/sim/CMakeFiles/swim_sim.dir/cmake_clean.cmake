@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_sim.dir/energy.cc.o"
+  "CMakeFiles/swim_sim.dir/energy.cc.o.d"
+  "CMakeFiles/swim_sim.dir/replay.cc.o"
+  "CMakeFiles/swim_sim.dir/replay.cc.o.d"
+  "CMakeFiles/swim_sim.dir/scheduler.cc.o"
+  "CMakeFiles/swim_sim.dir/scheduler.cc.o.d"
+  "libswim_sim.a"
+  "libswim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/burstiness.cc" "src/stats/CMakeFiles/swim_stats.dir/burstiness.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/burstiness.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/swim_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/swim_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/empirical_cdf.cc" "src/stats/CMakeFiles/swim_stats.dir/empirical_cdf.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/empirical_cdf.cc.o.d"
+  "/root/repo/src/stats/fourier.cc" "src/stats/CMakeFiles/swim_stats.dir/fourier.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/fourier.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/swim_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kmeans.cc" "src/stats/CMakeFiles/swim_stats.dir/kmeans.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/kmeans.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/swim_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/sampling.cc" "src/stats/CMakeFiles/swim_stats.dir/sampling.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/sampling.cc.o.d"
+  "/root/repo/src/stats/zipf.cc" "src/stats/CMakeFiles/swim_stats.dir/zipf.cc.o" "gcc" "src/stats/CMakeFiles/swim_stats.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_stats.dir/burstiness.cc.o"
+  "CMakeFiles/swim_stats.dir/burstiness.cc.o.d"
+  "CMakeFiles/swim_stats.dir/correlation.cc.o"
+  "CMakeFiles/swim_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/swim_stats.dir/descriptive.cc.o"
+  "CMakeFiles/swim_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/swim_stats.dir/empirical_cdf.cc.o"
+  "CMakeFiles/swim_stats.dir/empirical_cdf.cc.o.d"
+  "CMakeFiles/swim_stats.dir/fourier.cc.o"
+  "CMakeFiles/swim_stats.dir/fourier.cc.o.d"
+  "CMakeFiles/swim_stats.dir/histogram.cc.o"
+  "CMakeFiles/swim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/swim_stats.dir/kmeans.cc.o"
+  "CMakeFiles/swim_stats.dir/kmeans.cc.o.d"
+  "CMakeFiles/swim_stats.dir/regression.cc.o"
+  "CMakeFiles/swim_stats.dir/regression.cc.o.d"
+  "CMakeFiles/swim_stats.dir/sampling.cc.o"
+  "CMakeFiles/swim_stats.dir/sampling.cc.o.d"
+  "CMakeFiles/swim_stats.dir/zipf.cc.o"
+  "CMakeFiles/swim_stats.dir/zipf.cc.o.d"
+  "libswim_stats.a"
+  "libswim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/access_stream.cc" "src/storage/CMakeFiles/swim_storage.dir/access_stream.cc.o" "gcc" "src/storage/CMakeFiles/swim_storage.dir/access_stream.cc.o.d"
+  "/root/repo/src/storage/cache.cc" "src/storage/CMakeFiles/swim_storage.dir/cache.cc.o" "gcc" "src/storage/CMakeFiles/swim_storage.dir/cache.cc.o.d"
+  "/root/repo/src/storage/hdfs.cc" "src/storage/CMakeFiles/swim_storage.dir/hdfs.cc.o" "gcc" "src/storage/CMakeFiles/swim_storage.dir/hdfs.cc.o.d"
+  "/root/repo/src/storage/tiered.cc" "src/storage/CMakeFiles/swim_storage.dir/tiered.cc.o" "gcc" "src/storage/CMakeFiles/swim_storage.dir/tiered.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/swim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

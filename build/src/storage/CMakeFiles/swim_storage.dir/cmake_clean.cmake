@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_storage.dir/access_stream.cc.o"
+  "CMakeFiles/swim_storage.dir/access_stream.cc.o.d"
+  "CMakeFiles/swim_storage.dir/cache.cc.o"
+  "CMakeFiles/swim_storage.dir/cache.cc.o.d"
+  "CMakeFiles/swim_storage.dir/hdfs.cc.o"
+  "CMakeFiles/swim_storage.dir/hdfs.cc.o.d"
+  "CMakeFiles/swim_storage.dir/tiered.cc.o"
+  "CMakeFiles/swim_storage.dir/tiered.cc.o.d"
+  "libswim_storage.a"
+  "libswim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/filters.cc" "src/trace/CMakeFiles/swim_trace.dir/filters.cc.o" "gcc" "src/trace/CMakeFiles/swim_trace.dir/filters.cc.o.d"
+  "/root/repo/src/trace/frameworks.cc" "src/trace/CMakeFiles/swim_trace.dir/frameworks.cc.o" "gcc" "src/trace/CMakeFiles/swim_trace.dir/frameworks.cc.o.d"
+  "/root/repo/src/trace/job_record.cc" "src/trace/CMakeFiles/swim_trace.dir/job_record.cc.o" "gcc" "src/trace/CMakeFiles/swim_trace.dir/job_record.cc.o.d"
+  "/root/repo/src/trace/summary.cc" "src/trace/CMakeFiles/swim_trace.dir/summary.cc.o" "gcc" "src/trace/CMakeFiles/swim_trace.dir/summary.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/swim_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/swim_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/swim_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/swim_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_trace.dir/filters.cc.o"
+  "CMakeFiles/swim_trace.dir/filters.cc.o.d"
+  "CMakeFiles/swim_trace.dir/frameworks.cc.o"
+  "CMakeFiles/swim_trace.dir/frameworks.cc.o.d"
+  "CMakeFiles/swim_trace.dir/job_record.cc.o"
+  "CMakeFiles/swim_trace.dir/job_record.cc.o.d"
+  "CMakeFiles/swim_trace.dir/summary.cc.o"
+  "CMakeFiles/swim_trace.dir/summary.cc.o.d"
+  "CMakeFiles/swim_trace.dir/trace.cc.o"
+  "CMakeFiles/swim_trace.dir/trace.cc.o.d"
+  "CMakeFiles/swim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/swim_trace.dir/trace_io.cc.o.d"
+  "libswim_trace.a"
+  "libswim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/file_population.cc" "src/workloads/CMakeFiles/swim_workloads.dir/file_population.cc.o" "gcc" "src/workloads/CMakeFiles/swim_workloads.dir/file_population.cc.o.d"
+  "/root/repo/src/workloads/name_generator.cc" "src/workloads/CMakeFiles/swim_workloads.dir/name_generator.cc.o" "gcc" "src/workloads/CMakeFiles/swim_workloads.dir/name_generator.cc.o.d"
+  "/root/repo/src/workloads/paper_workloads.cc" "src/workloads/CMakeFiles/swim_workloads.dir/paper_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/swim_workloads.dir/paper_workloads.cc.o.d"
+  "/root/repo/src/workloads/spec_io.cc" "src/workloads/CMakeFiles/swim_workloads.dir/spec_io.cc.o" "gcc" "src/workloads/CMakeFiles/swim_workloads.dir/spec_io.cc.o.d"
+  "/root/repo/src/workloads/trace_generator.cc" "src/workloads/CMakeFiles/swim_workloads.dir/trace_generator.cc.o" "gcc" "src/workloads/CMakeFiles/swim_workloads.dir/trace_generator.cc.o.d"
+  "/root/repo/src/workloads/workload_spec.cc" "src/workloads/CMakeFiles/swim_workloads.dir/workload_spec.cc.o" "gcc" "src/workloads/CMakeFiles/swim_workloads.dir/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/swim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

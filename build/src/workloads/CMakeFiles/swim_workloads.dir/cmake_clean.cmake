@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_workloads.dir/file_population.cc.o"
+  "CMakeFiles/swim_workloads.dir/file_population.cc.o.d"
+  "CMakeFiles/swim_workloads.dir/name_generator.cc.o"
+  "CMakeFiles/swim_workloads.dir/name_generator.cc.o.d"
+  "CMakeFiles/swim_workloads.dir/paper_workloads.cc.o"
+  "CMakeFiles/swim_workloads.dir/paper_workloads.cc.o.d"
+  "CMakeFiles/swim_workloads.dir/spec_io.cc.o"
+  "CMakeFiles/swim_workloads.dir/spec_io.cc.o.d"
+  "CMakeFiles/swim_workloads.dir/trace_generator.cc.o"
+  "CMakeFiles/swim_workloads.dir/trace_generator.cc.o.d"
+  "CMakeFiles/swim_workloads.dir/workload_spec.cc.o"
+  "CMakeFiles/swim_workloads.dir/workload_spec.cc.o.d"
+  "libswim_workloads.a"
+  "libswim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_test.dir/diversity_test.cc.o"
+  "CMakeFiles/diversity_test.dir/diversity_test.cc.o.d"
+  "diversity_test"
+  "diversity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

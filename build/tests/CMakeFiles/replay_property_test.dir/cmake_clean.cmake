@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_property_test.dir/replay_property_test.cc.o"
+  "CMakeFiles/replay_property_test.dir/replay_property_test.cc.o.d"
+  "replay_property_test"
+  "replay_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/swim_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/swim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

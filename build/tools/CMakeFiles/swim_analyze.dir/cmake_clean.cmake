@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_analyze.dir/swim_analyze.cc.o"
+  "CMakeFiles/swim_analyze.dir/swim_analyze.cc.o.d"
+  "swim_analyze"
+  "swim_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_generate.dir/swim_generate.cc.o"
+  "CMakeFiles/swim_generate.dir/swim_generate.cc.o.d"
+  "swim_generate"
+  "swim_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

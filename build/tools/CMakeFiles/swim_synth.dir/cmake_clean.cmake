@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_synth.dir/swim_synth.cc.o"
+  "CMakeFiles/swim_synth.dir/swim_synth.cc.o.d"
+  "swim_synth"
+  "swim_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
