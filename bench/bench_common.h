@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,60 @@ inline trace::Trace BenchTrace(const std::string& name,
 /// Section banner.
 inline void Banner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// One machine-readable throughput measurement; serialized by
+/// BenchJsonWriter as {"name": ..., "jobs_per_sec": ..., "threads": ...}.
+struct BenchJsonRow {
+  std::string name;
+  double jobs_per_sec = 0.0;
+  int threads = 1;
+};
+
+/// Collects BenchJsonRows and writes them as a JSON array, one object per
+/// row — the BENCH_*.json perf-trajectory format. Names must not contain
+/// characters needing JSON escaping (bench code controls them).
+class BenchJsonWriter {
+ public:
+  void Add(std::string name, double jobs_per_sec, int threads) {
+    rows_.push_back({std::move(name), jobs_per_sec, threads});
+  }
+
+  /// Writes the collected rows; no-op (success) when `path` is empty.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (!out) return false;
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(out,
+                   "  {\"name\": \"%s\", \"jobs_per_sec\": %.3f, "
+                   "\"threads\": %d}%s\n",
+                   rows_[i].name.c_str(), rows_[i].jobs_per_sec,
+                   rows_[i].threads, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  std::vector<BenchJsonRow> rows_;
+};
+
+/// Returns the value following a `--json` flag (either "--json path" or
+/// "--json=path"), or "" when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 < argc) return argv[i + 1];
+      std::fprintf(stderr, "--json requires a path argument\n");
+      std::exit(2);
+    }
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
 }
 
 /// "paper=X measured=Y" comparison row.

@@ -1,0 +1,176 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace swim {
+
+int DefaultParallelism() {
+  if (const char* env = std::getenv("SWIM_THREADS")) {
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<int>(std::min<long>(value, kMaxParallelism));
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<int>(std::min<unsigned>(hw, kMaxParallelism));
+}
+
+int ResolveParallelism(int requested) {
+  if (requested > 0) return std::min(requested, kMaxParallelism);
+  return DefaultParallelism();
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int count = std::max(1, threads);
+  workers_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = []() {
+    unsigned hw = std::thread::hardware_concurrency();
+    int size = std::max(DefaultParallelism(), static_cast<int>(hw));
+    return new ThreadPool(std::max(1, size));  // leaked: outlives all users
+  }();
+  return *pool;
+}
+
+namespace {
+
+/// Shared state for one ParallelFor call. Helper tasks hold it by
+/// shared_ptr so a helper that only gets scheduled after the call has
+/// already returned (all chunks drained by other lanes) finds no work and
+/// exits without touching anything freed.
+struct ParallelForState {
+  std::function<void(size_t, size_t)> body;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t chunks = 0;
+  std::atomic<size_t> next{0};      // next chunk index to claim
+  std::atomic<size_t> finished{0};  // chunks executed or abandoned
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none remain. Every chunk index is
+  /// counted in `finished` exactly once (abandoned ones too, after a
+  /// failure), so finished == chunks is the completion condition.
+  void Work() {
+    size_t chunk;
+    while ((chunk = next.fetch_add(1, std::memory_order_relaxed)) < chunks) {
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          size_t lo = begin + chunk * grain;
+          body(lo, std::min(end, lo + grain));
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mu);  // pair with the waiter
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 int max_parallelism) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = (end - begin + grain - 1) / grain;
+
+  const int parallelism = ResolveParallelism(max_parallelism);
+  if (parallelism <= 1 || chunks <= 1) {
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      size_t lo = begin + chunk * grain;
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->body = body;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->chunks = chunks;
+
+  // IMPORTANT for nesting: the caller participates and we never block on a
+  // helper future. If the pool is saturated (e.g. this call runs inside a
+  // pool task), the caller alone drains every chunk; helpers that start
+  // late find `next` exhausted and return immediately. The wait below is
+  // on chunk completion, not on helper-task completion, so a queued helper
+  // stuck behind us in the pool cannot deadlock us.
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t helpers =
+      std::min<size_t>({static_cast<size_t>(parallelism) - 1, chunks - 1,
+                        static_cast<size_t>(pool.size())});
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Submit([state]() { state->Work(); });
+  }
+  state->Work();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&]() {
+      return state->finished.load(std::memory_order_acquire) >= chunks;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+void RunConcurrently(const std::vector<std::function<void()>>& tasks,
+                     int max_parallelism) {
+  ParallelFor(
+      0, tasks.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) tasks[i]();
+      },
+      max_parallelism);
+}
+
+}  // namespace swim

@@ -1,0 +1,109 @@
+#ifndef SWIM_COMMON_PARALLEL_H_
+#define SWIM_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace swim {
+
+/// Hard cap on worker lanes; guards against absurd SWIM_THREADS values.
+inline constexpr int kMaxParallelism = 256;
+
+/// The default number of worker lanes: the `SWIM_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// `std::thread::hardware_concurrency()`, clamped to [1, kMaxParallelism].
+/// Re-reads the environment on every call so a long-lived process can be
+/// retuned between pipeline invocations.
+int DefaultParallelism();
+
+/// Maps a caller-supplied thread count to an effective one: values > 0 are
+/// clamped to [1, kMaxParallelism]; 0 (or negative) means DefaultParallelism().
+int ResolveParallelism(int requested);
+
+/// A fixed-size pool of worker threads draining one FIFO task queue.
+///
+/// Most swim code should not construct pools directly: use the
+/// process-wide ThreadPool::Shared() via ParallelFor / RunConcurrently,
+/// which also keep the calling thread busy so nested use cannot deadlock.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are treated as 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` are captured in the future and rethrown by `.get()`.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// The process-wide pool, created on first use and sized
+  /// max(DefaultParallelism(), hardware_concurrency()) at creation time.
+  static ThreadPool& Shared();
+
+ private:
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Chunked parallel loop over [begin, end). Splits the range into
+/// ceil((end - begin) / grain) chunks and invokes
+/// `body(chunk_begin, chunk_end)` once per chunk.
+///
+/// Determinism contract: chunk boundaries depend only on (begin, end,
+/// grain) — never on the thread count — so bodies that write per-chunk
+/// partial results which the caller merges in chunk order produce
+/// byte-identical output at any parallelism, including 1.
+///
+/// The calling thread participates in chunk processing alongside
+/// ThreadPool::Shared() workers, so ParallelFor may be nested (e.g. inside
+/// a Submit task) without deadlock: if all pool workers are busy, the
+/// caller alone drains every chunk. Chunks run in unspecified order and
+/// must be independent.
+///
+/// `max_parallelism` bounds the worker lanes for this call; 0 means
+/// DefaultParallelism(). With an effective parallelism of 1 the chunks run
+/// serially, in order, on the calling thread.
+///
+/// If a body throws, remaining chunks are abandoned and one of the thrown
+/// exceptions is rethrown here. (swim library code reports errors via
+/// Status in its merged results instead; this path exists so bugs cannot
+/// vanish silently.)
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 int max_parallelism = 0);
+
+/// Runs independent nullary tasks, the calling thread participating, and
+/// returns when all have finished. Equivalent to ParallelFor over the task
+/// indices with grain 1; same nesting and exception behaviour.
+void RunConcurrently(const std::vector<std::function<void()>>& tasks,
+                     int max_parallelism = 0);
+
+}  // namespace swim
+
+#endif  // SWIM_COMMON_PARALLEL_H_

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace swim {
@@ -83,7 +84,11 @@ bool ParseDouble(std::string_view text, double* value) {
   errno = 0;
   char* end = nullptr;
   double parsed = std::strtod(buffer.c_str(), &end);
-  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  if (end != buffer.c_str() + buffer.size()) return false;
+  // ERANGE with an infinite result is a genuine overflow; ERANGE with a
+  // finite result is gradual underflow to a subnormal (e.g. 5e-324), which
+  // must parse so extreme doubles round-trip through CSV.
+  if (errno != 0 && (errno != ERANGE || !std::isfinite(parsed))) return false;
   *value = parsed;
   return true;
 }

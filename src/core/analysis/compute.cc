@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/units.h"
 #include "stats/kmeans.h"
@@ -152,6 +153,7 @@ StatusOr<JobClassification> ClassifyJobs(const trace::Trace& trace,
   stats::ColumnScaling scaling = stats::StandardizeColumns(sample);
   stats::KMeansOptions kmeans_options;
   kmeans_options.seed = options.seed;
+  kmeans_options.threads = options.threads;
   SWIM_ASSIGN_OR_RETURN(
       stats::ChooseKResult elbow,
       stats::ChooseKByElbow(sample, options.max_k, options.min_improvement,
@@ -164,35 +166,61 @@ StatusOr<JobClassification> ClassifyJobs(const trace::Trace& trace,
   result.elbow_residuals = elbow.residuals;
 
   // Assign every job (not just the sample) to its nearest centroid, and
-  // accumulate log-space means per cluster for reporting.
-  std::vector<size_t> counts(fit.centroids.size(), 0);
+  // accumulate log-space means per cluster for reporting. Chunked over the
+  // trace with per-chunk partials merged in chunk order, so the reported
+  // class means are identical at any thread count.
+  const std::vector<trace::JobRecord>& jobs = trace.jobs();
+  const size_t num_clusters = fit.centroids.size();
+  constexpr size_t kAssignGrain = 8192;
+  const size_t chunk_count = (jobs.size() + kAssignGrain - 1) / kAssignGrain;
+  struct AssignPartial {
+    std::vector<size_t> counts;
+    std::vector<std::vector<double>> log_sums;
+  };
+  std::vector<AssignPartial> partials(chunk_count);
+  ParallelFor(
+      0, jobs.size(), kAssignGrain,
+      [&](size_t lo, size_t hi) {
+        AssignPartial& part = partials[lo / kAssignGrain];
+        part.counts.assign(num_clusters, 0);
+        part.log_sums.assign(num_clusters, std::vector<double>(kDims, 0.0));
+        for (size_t i = lo; i < hi; ++i) {
+          std::vector<double> features = JobFeatures(jobs[i]);
+          // Standardize with the sample's scaling.
+          for (size_t d = 0; d < kDims; ++d) {
+            features[d] -= scaling.mean[d];
+            if (scaling.stddev[d] > 0.0) features[d] /= scaling.stddev[d];
+          }
+          size_t best = 0;
+          double best_dist = std::numeric_limits<double>::max();
+          for (size_t c = 0; c < num_clusters; ++c) {
+            double dist = 0.0;
+            for (size_t d = 0; d < kDims; ++d) {
+              double diff = features[d] - fit.centroids[c][d];
+              dist += diff * diff;
+            }
+            if (dist < best_dist) {
+              best_dist = dist;
+              best = c;
+            }
+          }
+          ++part.counts[best];
+          for (size_t d = 0; d < kDims; ++d) {
+            part.log_sums[best][d] +=
+                features[d] *
+                    (scaling.stddev[d] > 0.0 ? scaling.stddev[d] : 1.0) +
+                scaling.mean[d];
+          }
+        }
+      },
+      options.threads);
+  std::vector<size_t> counts(num_clusters, 0);
   std::vector<std::vector<double>> log_sums(
-      fit.centroids.size(), std::vector<double>(kDims, 0.0));
-  for (const auto& job : trace.jobs()) {
-    std::vector<double> features = JobFeatures(job);
-    // Standardize with the sample's scaling.
-    for (size_t d = 0; d < kDims; ++d) {
-      features[d] -= scaling.mean[d];
-      if (scaling.stddev[d] > 0.0) features[d] /= scaling.stddev[d];
-    }
-    size_t best = 0;
-    double best_dist = std::numeric_limits<double>::max();
-    for (size_t c = 0; c < fit.centroids.size(); ++c) {
-      double dist = 0.0;
-      for (size_t d = 0; d < kDims; ++d) {
-        double diff = features[d] - fit.centroids[c][d];
-        dist += diff * diff;
-      }
-      if (dist < best_dist) {
-        best_dist = dist;
-        best = c;
-      }
-    }
-    ++counts[best];
-    for (size_t d = 0; d < kDims; ++d) {
-      log_sums[best][d] +=
-          features[d] * (scaling.stddev[d] > 0.0 ? scaling.stddev[d] : 1.0) +
-          scaling.mean[d];
+      num_clusters, std::vector<double>(kDims, 0.0));
+  for (const AssignPartial& part : partials) {
+    for (size_t c = 0; c < num_clusters; ++c) {
+      counts[c] += part.counts[c];
+      for (size_t d = 0; d < kDims; ++d) log_sums[c][d] += part.log_sums[c][d];
     }
   }
 

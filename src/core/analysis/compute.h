@@ -69,6 +69,10 @@ struct ClassificationOptions {
   /// Fit on at most this many jobs (uniform subsample) for tractability;
   /// all jobs are still assigned to the fitted centroids.
   size_t sample_cap = 60000;
+  /// Worker lanes for k-means and the full-trace assignment pass: 0 =
+  /// default (SWIM_THREADS / hardware), 1 = serial. Output is identical
+  /// at any thread count.
+  int threads = 0;
 };
 
 struct JobClassification {

@@ -1,8 +1,11 @@
 #include "core/analysis/workload_report.h"
 
 #include <cstdio>
+#include <functional>
 #include <sstream>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/units.h"
 
 namespace swim::core {
@@ -11,18 +14,26 @@ StatusOr<WorkloadReport> AnalyzeWorkload(const trace::Trace& trace,
                                          const AnalysisOptions& options) {
   if (trace.empty()) return InvalidArgumentError("empty trace");
   WorkloadReport report;
-  report.summary = trace::Summarize(trace);
-  report.data_sizes = ComputeDataSizeCdfs(trace);
-  report.input_popularity = ComputeInputPopularity(trace);
-  report.output_popularity = ComputeOutputPopularity(trace);
-  report.reaccess_intervals = ComputeReaccessIntervals(trace);
-  report.reaccess_fractions = ComputeReaccessFractions(trace);
-  report.burstiness = ComputeBurstiness(trace);
-  report.correlations = ComputeSeriesCorrelations(trace);
-  report.diurnal_strength = DiurnalStrength(trace);
-  report.names = AnalyzeJobNames(trace);
-  SWIM_ASSIGN_OR_RETURN(report.classes,
-                        ClassifyJobs(trace, options.classification));
+  // Force the trace's lazy submit-time sort before stages share it.
+  trace.StartTime();
+  // Each stage writes one disjoint report field and reads only the trace,
+  // so they are data-race free and their outputs are order-independent.
+  std::vector<std::function<void()>> stages = {
+      [&]() { report.summary = trace::Summarize(trace); },
+      [&]() { report.data_sizes = ComputeDataSizeCdfs(trace); },
+      [&]() { report.input_popularity = ComputeInputPopularity(trace); },
+      [&]() { report.output_popularity = ComputeOutputPopularity(trace); },
+      [&]() { report.reaccess_intervals = ComputeReaccessIntervals(trace); },
+      [&]() { report.reaccess_fractions = ComputeReaccessFractions(trace); },
+      [&]() { report.burstiness = ComputeBurstiness(trace); },
+      [&]() { report.correlations = ComputeSeriesCorrelations(trace); },
+      [&]() { report.diurnal_strength = DiurnalStrength(trace); },
+      [&]() { report.names = AnalyzeJobNames(trace); },
+  };
+  RunConcurrently(stages, options.threads);
+  ClassificationOptions classification = options.classification;
+  if (classification.threads == 0) classification.threads = options.threads;
+  SWIM_ASSIGN_OR_RETURN(report.classes, ClassifyJobs(trace, classification));
   return report;
 }
 

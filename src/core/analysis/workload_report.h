@@ -30,9 +30,16 @@ struct WorkloadReport {
 
 struct AnalysisOptions {
   ClassificationOptions classification;
+  /// Worker lanes for the stage fan-out and k-means: 0 = default
+  /// (SWIM_THREADS env var, else hardware concurrency), 1 = serial.
+  /// Results are identical at any thread count.
+  int threads = 0;
 };
 
-/// Runs the full analysis pipeline over a trace.
+/// Runs the full analysis pipeline over a trace. The ~10 independent
+/// stages (sizes, popularity, re-access, burstiness, correlations,
+/// diurnality, names) run concurrently on the shared pool, then job
+/// classification (which parallelizes internally) runs on the caller.
 StatusOr<WorkloadReport> AnalyzeWorkload(const trace::Trace& trace,
                                          const AnalysisOptions& options = {});
 

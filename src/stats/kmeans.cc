@@ -5,9 +5,15 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace swim::stats {
 namespace {
+
+/// Points per ParallelFor chunk in the assignment/update/residual passes.
+/// Fixed (independent of thread count) so per-chunk partial sums merge in
+/// the same order at any parallelism, keeping centroids byte-identical.
+constexpr size_t kPointGrain = 2048;
 
 double SquaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b) {
@@ -57,43 +63,70 @@ std::vector<std::vector<double>> SeedCentroids(
   return centroids;
 }
 
+/// Per-chunk partial accumulator for the fused assignment + update pass.
+struct ChunkPartial {
+  std::vector<std::vector<double>> sums;  // k x dims
+  std::vector<size_t> counts;             // k
+  bool changed = false;
+  double residual = 0.0;
+};
+
 KMeansResult LloydOnce(const std::vector<std::vector<double>>& points, int k,
-                       int max_iterations, Pcg32& rng) {
+                       int max_iterations, Pcg32& rng, int threads) {
   const size_t dims = points[0].size();
   KMeansResult result;
   result.centroids = SeedCentroids(points, k, rng);
   result.assignments.assign(points.size(), -1);
 
+  const size_t chunk_count = (points.size() + kPointGrain - 1) / kPointGrain;
+  std::vector<ChunkPartial> partials(chunk_count);
+
   for (int iter = 0; iter < max_iterations; ++iter) {
+    // Fused assignment + partial update: each chunk assigns its points
+    // (disjoint writes) and accumulates per-cluster sums/counts locally.
+    ParallelFor(
+        0, points.size(), kPointGrain,
+        [&](size_t lo, size_t hi) {
+          ChunkPartial& part = partials[lo / kPointGrain];
+          part.sums.assign(k, std::vector<double>(dims, 0.0));
+          part.counts.assign(k, 0);
+          part.changed = false;
+          for (size_t i = lo; i < hi; ++i) {
+            int best = 0;
+            double best_dist = std::numeric_limits<double>::max();
+            for (int c = 0; c < k; ++c) {
+              double dist = SquaredDistance(points[i], result.centroids[c]);
+              if (dist < best_dist) {
+                best_dist = dist;
+                best = c;
+              }
+            }
+            if (result.assignments[i] != best) {
+              result.assignments[i] = best;
+              part.changed = true;
+            }
+            for (size_t d = 0; d < dims; ++d) part.sums[best][d] += points[i][d];
+            ++part.counts[best];
+          }
+        },
+        threads);
+
     bool changed = false;
-    // Assignment step.
-    for (size_t i = 0; i < points.size(); ++i) {
-      int best = 0;
-      double best_dist = std::numeric_limits<double>::max();
-      for (int c = 0; c < k; ++c) {
-        double dist = SquaredDistance(points[i], result.centroids[c]);
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = c;
-        }
-      }
-      if (result.assignments[i] != best) {
-        result.assignments[i] = best;
-        changed = true;
-      }
-    }
+    for (const ChunkPartial& part : partials) changed |= part.changed;
     result.iterations = iter + 1;
     if (!changed) {
       result.converged = true;
       break;
     }
-    // Update step.
+    // Merge partials in chunk order (fixed by kPointGrain, not by thread
+    // count) so the new centroids are byte-identical at any parallelism.
     std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
     std::vector<size_t> counts(k, 0);
-    for (size_t i = 0; i < points.size(); ++i) {
-      int c = result.assignments[i];
-      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
-      ++counts[c];
+    for (const ChunkPartial& part : partials) {
+      for (int c = 0; c < k; ++c) {
+        counts[c] += part.counts[c];
+        for (size_t d = 0; d < dims; ++d) sums[c][d] += part.sums[c][d];
+      }
     }
     for (int c = 0; c < k; ++c) {
       if (counts[c] == 0) {
@@ -107,13 +140,25 @@ KMeansResult LloydOnce(const std::vector<std::vector<double>>& points, int k,
     }
   }
 
+  // Final sizes + residual, again via chunk partials merged in order.
+  ParallelFor(
+      0, points.size(), kPointGrain,
+      [&](size_t lo, size_t hi) {
+        ChunkPartial& part = partials[lo / kPointGrain];
+        part.counts.assign(k, 0);
+        part.residual = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          int c = result.assignments[i];
+          ++part.counts[c];
+          part.residual += SquaredDistance(points[i], result.centroids[c]);
+        }
+      },
+      threads);
   result.sizes.assign(k, 0);
   result.residual_variance = 0.0;
-  for (size_t i = 0; i < points.size(); ++i) {
-    int c = result.assignments[i];
-    ++result.sizes[c];
-    result.residual_variance +=
-        SquaredDistance(points[i], result.centroids[c]);
+  for (const ChunkPartial& part : partials) {
+    for (int c = 0; c < k; ++c) result.sizes[c] += part.counts[c];
+    result.residual_variance += part.residual;
   }
   return result;
 }
@@ -137,11 +182,25 @@ StatusOr<KMeansResult> KMeansFit(
     }
   }
 
-  Pcg32 rng(options.seed, /*stream=*/17);
+  // Restarts are independent: each gets its own Pcg32 stream derived from
+  // the user seed and its restart index, so they can run concurrently and
+  // still produce byte-identical fits at any thread count.
+  const int restarts = std::max(1, options.restarts);
+  std::vector<KMeansResult> runs(restarts);
+  ParallelFor(
+      0, static_cast<size_t>(restarts), 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+          Pcg32 rng(options.seed + r, /*stream=*/17);
+          runs[r] =
+              LloydOnce(points, k, options.max_iterations, rng, options.threads);
+        }
+      },
+      options.threads);
+  // Lowest residual wins; ties break to the lowest restart index.
   KMeansResult best;
   best.residual_variance = std::numeric_limits<double>::max();
-  for (int r = 0; r < std::max(1, options.restarts); ++r) {
-    KMeansResult run = LloydOnce(points, k, options.max_iterations, rng);
+  for (KMeansResult& run : runs) {
     if (run.residual_variance < best.residual_variance) best = std::move(run);
   }
   return best;

@@ -27,9 +27,16 @@ struct KMeansResult {
 
 struct KMeansOptions {
   int max_iterations = 100;
-  /// Lloyd restarts; the best (lowest residual) run wins.
+  /// Lloyd restarts; the best (lowest residual, ties to the lowest restart
+  /// index) run wins. Restarts run concurrently, each on an independent
+  /// Pcg32 stream seeded from `seed` + restart index, so the fit is
+  /// byte-identical at any thread count.
   int restarts = 3;
   uint64_t seed = 1;
+  /// Worker lanes for the assignment/update steps and the restarts: 0 =
+  /// default (SWIM_THREADS env var, else hardware concurrency), 1 =
+  /// serial. Never changes the result, only the wall clock.
+  int threads = 0;
 };
 
 /// Lloyd's algorithm with k-means++ seeding, the clustering method the paper

@@ -2,13 +2,23 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace swim::trace {
 namespace {
+
+/// Lines per parallel parse shard. Fixed (independent of thread count) so
+/// shard boundaries — and therefore job order, merged metadata, and which
+/// error is reported first — are identical at any parallelism.
+constexpr size_t kShardLines = 4096;
 
 bool NeedsQuoting(std::string_view field) {
   return field.find_first_of(",\"\n") != std::string_view::npos;
@@ -26,9 +36,27 @@ std::string QuoteField(std::string_view field) {
 }
 
 /// Splits one CSV line honoring RFC 4180 quoting. Returns false on
-/// unbalanced quotes.
-bool SplitCsvLine(std::string_view line, std::vector<std::string>* fields) {
+/// unbalanced quotes. The fast path (no quote character anywhere, i.e.
+/// every machine-generated numeric row) splits zero-copy into views of
+/// `line`; the quoted path unescapes into `scratch` and the views point
+/// into those strings, which stay alive until the next call.
+bool SplitCsvLine(std::string_view line,
+                  std::vector<std::string_view>* fields,
+                  std::vector<std::string>* scratch) {
   fields->clear();
+  if (line.find('"') == std::string_view::npos) {
+    size_t start = 0;
+    for (;;) {
+      size_t comma = line.find(',', start);
+      if (comma == std::string_view::npos) {
+        fields->push_back(line.substr(start));
+        return true;
+      }
+      fields->push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+  }
+  scratch->clear();
   std::string current;
   bool in_quotes = false;
   for (size_t i = 0; i < line.size(); ++i) {
@@ -47,25 +75,34 @@ bool SplitCsvLine(std::string_view line, std::vector<std::string>* fields) {
     } else if (c == '"' && current.empty()) {
       in_quotes = true;
     } else if (c == ',') {
-      fields->push_back(std::move(current));
+      scratch->push_back(std::move(current));
       current.clear();
     } else {
       current.push_back(c);
     }
   }
   if (in_quotes) return false;
-  fields->push_back(std::move(current));
+  scratch->push_back(std::move(current));
+  // Build the views only once scratch is fully populated: push_back above
+  // may reallocate and move small (SSO) strings, which would dangle.
+  fields->reserve(scratch->size());
+  for (const std::string& field : *scratch) fields->push_back(field);
   return true;
 }
 
 std::string FormatDouble(double value) {
   char buffer[64];
-  // %.17g round-trips doubles exactly; trim to shortest by trying %g first.
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  // Shortest of %.12g / %.15g / %.17g that parses back to exactly the same
+  // double; %.17g always round-trips IEEE binary64, so CSV round-trips are
+  // bit-exact.
+  for (int precision : {12, 15, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
   return buffer;
 }
 
-Status ParseRow(const std::vector<std::string>& fields, int line_number,
+Status ParseRow(const std::vector<std::string_view>& fields, int line_number,
                 JobRecord* job) {
   if (fields.size() != 13) {
     return InvalidArgumentError("line " + std::to_string(line_number) +
@@ -79,7 +116,7 @@ Status ParseRow(const std::vector<std::string>& fields, int line_number,
   int64_t id = 0;
   if (!ParseInt64(fields[0], &id) || id < 0) return fail("job_id");
   job->job_id = static_cast<uint64_t>(id);
-  job->name = fields[1];
+  job->name = std::string(fields[1]);
   if (!ParseDouble(fields[2], &job->submit_time)) return fail("submit_time");
   if (!ParseDouble(fields[3], &job->duration)) return fail("duration");
   if (!ParseDouble(fields[4], &job->input_bytes)) return fail("input_bytes");
@@ -97,14 +134,48 @@ Status ParseRow(const std::vector<std::string>& fields, int line_number,
   if (!ParseDouble(fields[10], &job->reduce_task_seconds)) {
     return fail("reduce_task_seconds");
   }
-  job->input_path = fields[11];
-  job->output_path = fields[12];
+  job->input_path = std::string(fields[11]);
+  job->output_path = std::string(fields[12]);
   std::string violation = ValidateJobRecord(*job);
   if (!violation.empty()) {
     return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
                                 violation);
   }
   return Status::Ok();
+}
+
+/// Applies a "#key=value" metadata assignment to the trace.
+void ApplyMetadata(Trace* trace, std::string_view key, std::string_view value) {
+  if (key == "name") {
+    trace->mutable_metadata().name = std::string(value);
+  } else if (key == "machines") {
+    int64_t v = 0;
+    if (ParseInt64(value, &v)) {
+      trace->mutable_metadata().machines = static_cast<int>(v);
+    }
+  } else if (key == "year") {
+    int64_t v = 0;
+    if (ParseInt64(value, &v)) {
+      trace->mutable_metadata().year = static_cast<int>(v);
+    }
+  }
+}
+
+/// Splits `text` into lines with std::getline semantics: '\n' separated,
+/// no empty final line after a trailing newline, trailing '\r' stripped.
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    size_t end = (nl == std::string_view::npos) ? text.size() : nl;
+    std::string_view line = text.substr(pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return lines;
 }
 
 }  // namespace
@@ -132,54 +203,93 @@ std::string TraceToCsv(const Trace& trace) {
   return os.str();
 }
 
-StatusOr<Trace> TraceFromCsv(const std::string& csv_text) {
+StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
   Trace trace;
-  std::istringstream is(csv_text);
-  std::string line;
-  int line_number = 0;
+  const std::vector<std::string_view> lines = SplitLines(csv_text);
+
+  // Sequential prologue: metadata comments up to and including the header.
+  size_t first_data = lines.size();
   bool header_seen = false;
-  std::vector<std::string> fields;
-  std::vector<JobRecord> jobs;
-  while (std::getline(is, line)) {
-    ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
     if (line.empty()) continue;
     if (line[0] == '#') {
       auto parts = Split(line.substr(1), '=');
-      if (parts.size() == 2) {
-        if (parts[0] == "name") {
-          trace.mutable_metadata().name = parts[1];
-        } else if (parts[0] == "machines") {
-          int64_t v = 0;
-          if (ParseInt64(parts[1], &v)) {
-            trace.mutable_metadata().machines = static_cast<int>(v);
-          }
-        } else if (parts[0] == "year") {
-          int64_t v = 0;
-          if (ParseInt64(parts[1], &v)) {
-            trace.mutable_metadata().year = static_cast<int>(v);
-          }
-        }
-      }
+      if (parts.size() == 2) ApplyMetadata(&trace, parts[0], parts[1]);
       continue;
     }
-    if (!header_seen) {
-      if (line != kTraceCsvHeader) {
-        return InvalidArgumentError("line " + std::to_string(line_number) +
-                                    ": unrecognized header");
-      }
-      header_seen = true;
-      continue;
+    if (line != kTraceCsvHeader) {
+      return InvalidArgumentError("line " + std::to_string(i + 1) +
+                                  ": unrecognized header");
     }
-    if (!SplitCsvLine(line, &fields)) {
-      return InvalidArgumentError("line " + std::to_string(line_number) +
-                                  ": unbalanced quotes");
-    }
-    JobRecord job;
-    SWIM_RETURN_IF_ERROR(ParseRow(fields, line_number, &job));
-    jobs.push_back(std::move(job));
+    header_seen = true;
+    first_data = i + 1;
+    break;
   }
   if (!header_seen) return InvalidArgumentError("missing CSV header");
+
+  // Data region: fixed-size line shards parsed concurrently. Each shard
+  // collects its jobs, any "#key=value" assignments, and its first error;
+  // merging in shard order reproduces the serial parser exactly.
+  struct Shard {
+    std::vector<JobRecord> jobs;
+    std::vector<std::pair<std::string, std::string>> metadata;
+    Status error = Status::Ok();
+  };
+  const size_t shard_count =
+      (lines.size() - first_data + kShardLines - 1) / kShardLines;
+  std::vector<Shard> shards(shard_count);
+  ParallelFor(
+      first_data, lines.size(), kShardLines,
+      [&](size_t lo, size_t hi) {
+        Shard& shard = shards[(lo - first_data) / kShardLines];
+        std::vector<std::string_view> fields;
+        std::vector<std::string> scratch;
+        shard.jobs.reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          std::string_view line = lines[i];
+          const int line_number = static_cast<int>(i) + 1;
+          if (line.empty()) continue;
+          if (line[0] == '#') {
+            auto parts = Split(line.substr(1), '=');
+            if (parts.size() == 2) {
+              shard.metadata.emplace_back(std::move(parts[0]),
+                                          std::move(parts[1]));
+            }
+            continue;
+          }
+          if (!SplitCsvLine(line, &fields, &scratch)) {
+            shard.error =
+                InvalidArgumentError("line " + std::to_string(line_number) +
+                                     ": unbalanced quotes");
+            return;
+          }
+          JobRecord job;
+          Status row = ParseRow(fields, line_number, &job);
+          if (!row.ok()) {
+            shard.error = std::move(row);
+            return;
+          }
+          shard.jobs.push_back(std::move(job));
+        }
+      },
+      threads);
+
+  // The lowest-indexed shard with an error holds the earliest failing
+  // line; report it, like the serial parser's first-error behaviour.
+  size_t total_jobs = 0;
+  for (const Shard& shard : shards) {
+    if (!shard.error.ok()) return shard.error;
+    total_jobs += shard.jobs.size();
+  }
+  std::vector<JobRecord> jobs;
+  jobs.reserve(total_jobs);
+  for (Shard& shard : shards) {
+    for (const auto& [key, value] : shard.metadata) {
+      ApplyMetadata(&trace, key, value);
+    }
+    for (JobRecord& job : shard.jobs) jobs.push_back(std::move(job));
+  }
   trace.SetJobs(std::move(jobs));
   return trace;
 }
@@ -193,12 +303,12 @@ Status WriteTraceCsv(const Trace& trace, const std::string& path) {
   return Status::Ok();
 }
 
-StatusOr<Trace> ReadTraceCsv(const std::string& path) {
+StatusOr<Trace> ReadTraceCsv(const std::string& path, int threads) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return IoError("cannot open for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return TraceFromCsv(buffer.str());
+  return TraceFromCsv(buffer.str(), threads);
 }
 
 }  // namespace swim::trace

@@ -22,11 +22,15 @@ Status WriteTraceCsv(const Trace& trace, const std::string& path);
 
 /// Parses a CSV trace file produced by WriteTraceCsv (or hand-written with
 /// the same schema). Rejects malformed rows with the offending line number.
-StatusOr<Trace> ReadTraceCsv(const std::string& path);
+/// `threads` bounds the parallel shard parse (0 = default from SWIM_THREADS
+/// / hardware, 1 = serial); the parsed trace — including which error and
+/// line number is reported for malformed input — is identical at any
+/// thread count.
+StatusOr<Trace> ReadTraceCsv(const std::string& path, int threads = 0);
 
 /// In-memory variants, used by tests and by tools that stream traces.
 std::string TraceToCsv(const Trace& trace);
-StatusOr<Trace> TraceFromCsv(const std::string& csv_text);
+StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads = 0);
 
 }  // namespace swim::trace
 
