@@ -1,0 +1,608 @@
+#ifndef SWIM_COMMON_FLAT_HASH_H_
+#define SWIM_COMMON_FLAT_HASH_H_
+
+// Open-addressing hash map/set with a separate one-byte metadata array,
+// SwissTable-style: each slot's control byte is either kEmpty, kDeleted
+// (tombstone), or the low 7 bits of the key's hash (H2). Lookups scan the
+// metadata in 16-byte groups, touching slot memory only on an H2 match, so
+// a probe costs one cache line of control bytes instead of a chained-bucket
+// pointer walk. Capacity is a power of two; the probe sequence steps over
+// groups with triangular increments, which visits every group exactly once.
+//
+// The default hashers are transparent: FlatHashMap<std::string, V> lookups
+// accept std::string_view (and const char*) without constructing a
+// temporary std::string. Iteration order is unspecified but deterministic
+// for a fixed insertion/erasure history (no randomized seeding), which the
+// repo's byte-identical-output contract relies on.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <limits>
+#include <new>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+namespace swim {
+
+// --- Hashing -----------------------------------------------------------
+
+/// 64-bit finalizer (splitmix64); turns sequential integers into
+/// well-distributed hashes, required because table capacity is a power of
+/// two and interned ids are dense small integers.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// MurmurHash64A-shaped string hash: 8-byte multiply-mix chunks, tail
+/// bytes folded in, finalized with two xor-shift rounds.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  constexpr uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+  constexpr int kShift = 47;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0x8445d61a4e774912ULL ^ (len * kMul);
+  size_t chunks = len / 8;
+  for (size_t i = 0; i < chunks; ++i) {
+    uint64_t k;
+    std::memcpy(&k, p + i * 8, 8);
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
+  }
+  const unsigned char* tail = p + chunks * 8;
+  uint64_t t = 0;
+  switch (len & 7) {
+    case 7: t ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: t ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: t ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: t ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: t ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: t ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      t ^= static_cast<uint64_t>(tail[0]);
+      h ^= t;
+      h *= kMul;
+      break;
+    case 0: break;
+  }
+  h ^= h >> kShift;
+  h *= kMul;
+  h ^= h >> kShift;
+  return h;
+}
+
+/// Transparent default hasher. Integral/enum/pointer keys go through
+/// MixHash64; strings (and anything convertible to string_view) through
+/// HashBytes. `is_transparent` enables heterogeneous lookup.
+struct FlatHash {
+  using is_transparent = void;
+
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> || std::is_enum_v<T>,
+                             int> = 0>
+  uint64_t operator()(T value) const {
+    return MixHash64(static_cast<uint64_t>(value));
+  }
+  /// Pointer identity hash — except character pointers, which fall through
+  /// to the string_view overload so `find("literal")` hashes contents.
+  template <typename T,
+            std::enable_if_t<!std::is_convertible_v<T*, std::string_view>,
+                             int> = 0>
+  uint64_t operator()(T* pointer) const {
+    return MixHash64(reinterpret_cast<uintptr_t>(pointer));
+  }
+  uint64_t operator()(std::string_view text) const {
+    return HashBytes(text.data(), text.size());
+  }
+};
+
+/// Transparent equality: lets std::string keys compare against
+/// std::string_view probes without a conversion.
+struct FlatEq {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return a == b;
+  }
+};
+
+/// Drop-in aliases for code that stays on std::unordered_map but should
+/// stop constructing temporary std::strings on lookup.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view text) const {
+    return static_cast<size_t>(HashBytes(text.data(), text.size()));
+  }
+};
+using TransparentStringEq = std::equal_to<>;
+
+// --- Control bytes ------------------------------------------------------
+
+namespace flat_internal {
+
+inline constexpr size_t kGroupWidth = 16;
+inline constexpr uint8_t kEmpty = 0x80;    // high bit set, not a tombstone
+inline constexpr uint8_t kDeleted = 0xfe;  // tombstone
+// Full slots hold H2 in [0x00, 0x7f] (high bit clear).
+
+inline bool IsFull(uint8_t ctrl) { return (ctrl & 0x80) == 0; }
+
+inline uint8_t H2(uint64_t hash) { return static_cast<uint8_t>(hash & 0x7f); }
+inline uint64_t H1(uint64_t hash) { return hash >> 7; }
+
+/// Scans one 16-byte control group as two 8-byte words. Returns a bitmask
+/// of byte positions matching `byte` (word-at-a-time zero-byte trick on
+/// ctrl XOR broadcast(byte)).
+inline uint32_t MatchByteMask(const uint8_t* group, uint8_t byte) {
+  constexpr uint64_t kLsb = 0x0101010101010101ULL;
+  constexpr uint64_t kMsb = 0x8080808080808080ULL;
+  const uint64_t pattern = kLsb * byte;
+  uint32_t mask = 0;
+  for (int w = 0; w < 2; ++w) {
+    uint64_t word;
+    std::memcpy(&word, group + w * 8, 8);
+    uint64_t x = word ^ pattern;
+    uint64_t zeros = (x - kLsb) & ~x & kMsb;
+    // One bit per zero byte, compressed to positions 0..7.
+    while (zeros != 0) {
+      int byte_index = __builtin_ctzll(zeros) >> 3;
+      mask |= 1u << (w * 8 + byte_index);
+      zeros &= zeros - 1;
+    }
+  }
+  return mask;
+}
+
+/// Bitmask of empty (not tombstone) bytes in the group.
+inline uint32_t MatchEmptyMask(const uint8_t* group) {
+  return MatchByteMask(group, kEmpty);
+}
+
+/// Bitmask of empty-or-tombstone bytes (insertable slots).
+inline uint32_t MatchNonFullMask(const uint8_t* group) {
+  constexpr uint64_t kMsb = 0x8080808080808080ULL;
+  uint32_t mask = 0;
+  for (int w = 0; w < 2; ++w) {
+    uint64_t word;
+    std::memcpy(&word, group + w * 8, 8);
+    uint64_t high = word & kMsb;  // high bit set <=> empty or deleted
+    while (high != 0) {
+      int byte_index = __builtin_ctzll(high) >> 3;
+      mask |= 1u << (w * 8 + byte_index);
+      high &= high - 1;
+    }
+  }
+  return mask;
+}
+
+}  // namespace flat_internal
+
+// --- FlatHashMap --------------------------------------------------------
+
+template <typename K, typename V, typename Hash = FlatHash,
+          typename Eq = FlatEq>
+class FlatHashMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using value_type = std::pair<K, V>;
+
+  class iterator {
+   public:
+    iterator() = default;
+    value_type& operator*() const { return *slot_; }
+    value_type* operator->() const { return slot_; }
+    iterator& operator++() {
+      ++index_;
+      SkipNonFull();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    friend class FlatHashMap;
+    iterator(const FlatHashMap* table, size_t index)
+        : table_(table), index_(index) {
+      SkipNonFull();
+    }
+    void SkipNonFull() {
+      while (index_ < table_->capacity_ &&
+             !flat_internal::IsFull(table_->ctrl_[index_])) {
+        ++index_;
+      }
+      slot_ = index_ < table_->capacity_ ? table_->slots_ + index_ : nullptr;
+    }
+    const FlatHashMap* table_ = nullptr;
+    size_t index_ = 0;
+    value_type* slot_ = nullptr;
+  };
+  using const_iterator = iterator;  // values are not mutable through const
+                                    // use; kept simple for internal usage
+
+  FlatHashMap() = default;
+  explicit FlatHashMap(size_t initial_capacity) { reserve(initial_capacity); }
+  FlatHashMap(std::initializer_list<value_type> init) {
+    reserve(init.size());
+    for (const auto& kv : init) insert(kv);
+  }
+
+  FlatHashMap(const FlatHashMap& other) { CopyFrom(other); }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FlatHashMap(FlatHashMap&& other) noexcept { MoveFrom(other); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~FlatHashMap() { Destroy(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, capacity_); }
+
+  void clear() {
+    if (capacity_ == 0) return;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (flat_internal::IsFull(ctrl_[i])) slots_[i].~value_type();
+    }
+    std::memset(ctrl_, flat_internal::kEmpty, capacity_);
+    size_ = 0;
+    growth_left_ = GrowthCapacity(capacity_);
+  }
+
+  /// Ensures capacity for `n` elements without rehashing mid-insertion.
+  void reserve(size_t n) {
+    size_t needed = NormalizeCapacity(n);
+    if (needed > capacity_) Rehash(needed);
+  }
+
+  template <typename Key>
+  iterator find(const Key& key) const {
+    size_t index = FindIndex(key);
+    return index == kNotFound ? end() : iterator(this, index);
+  }
+
+  template <typename Key>
+  bool contains(const Key& key) const {
+    return FindIndex(key) != kNotFound;
+  }
+
+  template <typename Key>
+  size_t count(const Key& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  template <typename Key>
+  V& at(const Key& key) {
+    size_t index = FindIndex(key);
+    assert(index != kNotFound && "FlatHashMap::at: key not found");
+    return slots_[index].second;
+  }
+  template <typename Key>
+  const V& at(const Key& key) const {
+    size_t index = FindIndex(key);
+    assert(index != kNotFound && "FlatHashMap::at: key not found");
+    return slots_[index].second;
+  }
+
+  V& operator[](const K& key) {
+    return TryEmplace(key).first->second;
+  }
+  V& operator[](K&& key) {
+    return TryEmplace(std::move(key)).first->second;
+  }
+  /// Heterogeneous subscript: materializes K only on first insertion.
+  template <typename Key,
+            std::enable_if_t<!std::is_convertible_v<Key&&, const K&> &&
+                                 !std::is_convertible_v<Key&&, K&&>,
+                             int> = 0>
+  V& operator[](Key&& key) {
+    return TryEmplace(std::forward<Key>(key)).first->second;
+  }
+
+  std::pair<iterator, bool> insert(const value_type& kv) {
+    auto [it, inserted] = TryEmplace(kv.first);
+    if (inserted) it->second = kv.second;
+    return {it, inserted};
+  }
+  std::pair<iterator, bool> insert(value_type&& kv) {
+    auto [it, inserted] = TryEmplace(std::move(kv.first));
+    if (inserted) it->second = std::move(kv.second);
+    return {it, inserted};
+  }
+
+  template <typename Key, typename... Args>
+  std::pair<iterator, bool> emplace(Key&& key, Args&&... args) {
+    auto [it, inserted] = TryEmplace(std::forward<Key>(key));
+    if (inserted) it->second = V(std::forward<Args>(args)...);
+    return {it, inserted};
+  }
+
+  /// try_emplace semantics: default-constructs (or constructs from `args`)
+  /// the value only when the key is absent. Accepts heterogeneous keys; K
+  /// is materialized from `key` only on insertion.
+  template <typename Key, typename... Args>
+  std::pair<iterator, bool> TryEmplace(Key&& key, Args&&... args) {
+    uint64_t hash = hash_(key);
+    size_t index = FindIndexHashed(key, hash);
+    if (index != kNotFound) return {iterator(this, index), false};
+    index = PrepareInsert(hash);
+    new (slots_ + index) value_type(
+        std::piecewise_construct,
+        std::forward_as_tuple(std::forward<Key>(key)),
+        std::forward_as_tuple(std::forward<Args>(args)...));
+    return {iterator(this, index), true};
+  }
+
+  template <typename Key>
+  size_t erase(const Key& key) {
+    size_t index = FindIndex(key);
+    if (index == kNotFound) return 0;
+    EraseAt(index);
+    return 1;
+  }
+
+  iterator erase(iterator pos) {
+    size_t index = pos.index_;
+    EraseAt(index);
+    return iterator(this, index + 1);
+  }
+
+ private:
+  static constexpr size_t kNotFound = std::numeric_limits<size_t>::max();
+
+  static size_t NormalizeCapacity(size_t n) {
+    // Smallest power of two holding n elements at 7/8 load.
+    size_t capacity = flat_internal::kGroupWidth;
+    while (GrowthCapacity(capacity) < n) capacity *= 2;
+    return capacity;
+  }
+  static size_t GrowthCapacity(size_t capacity) {
+    return capacity - capacity / 8;  // 7/8 load factor
+  }
+
+  template <typename Key>
+  size_t FindIndex(const Key& key) const {
+    return FindIndexHashed(key, hash_(key));
+  }
+
+  template <typename Key>
+  size_t FindIndexHashed(const Key& key, uint64_t hash) const {
+    if (capacity_ == 0) return kNotFound;
+    const size_t group_count = capacity_ / flat_internal::kGroupWidth;
+    const size_t group_mask = group_count - 1;
+    size_t group = flat_internal::H1(hash) & group_mask;
+    const uint8_t h2 = flat_internal::H2(hash);
+    for (size_t step = 0;; ++step) {
+      const uint8_t* ctrl_group =
+          ctrl_ + group * flat_internal::kGroupWidth;
+      uint32_t match = flat_internal::MatchByteMask(ctrl_group, h2);
+      while (match != 0) {
+        int offset = __builtin_ctz(match);
+        size_t index = group * flat_internal::kGroupWidth + offset;
+        if (eq_(slots_[index].first, key)) return index;
+        match &= match - 1;
+      }
+      if (flat_internal::MatchEmptyMask(ctrl_group) != 0) return kNotFound;
+      group = (group + step + 1) & group_mask;  // triangular probing
+      assert(step <= group_count && "flat hash table is over-full");
+    }
+  }
+
+  /// Finds the first insertable slot for `hash`, growing/rehashing first if
+  /// the load factor would be exceeded. Returns the slot index and writes
+  /// its control byte; the caller constructs the element.
+  size_t PrepareInsert(uint64_t hash) {
+    if (growth_left_ == 0) {
+      // Tombstone-heavy tables rehash in place; otherwise double.
+      Rehash(size_ >= capacity_ / 2 ? std::max<size_t>(capacity_ * 2,
+                                                       flat_internal::kGroupWidth)
+                                    : std::max<size_t>(capacity_,
+                                                       flat_internal::kGroupWidth));
+    }
+    const size_t group_count = capacity_ / flat_internal::kGroupWidth;
+    const size_t group_mask = group_count - 1;
+    size_t group = flat_internal::H1(hash) & group_mask;
+    for (size_t step = 0;; ++step) {
+      const uint8_t* ctrl_group =
+          ctrl_ + group * flat_internal::kGroupWidth;
+      uint32_t non_full = flat_internal::MatchNonFullMask(ctrl_group);
+      if (non_full != 0) {
+        int offset = __builtin_ctz(non_full);
+        size_t index = group * flat_internal::kGroupWidth + offset;
+        if (ctrl_[index] == flat_internal::kEmpty) --growth_left_;
+        ctrl_[index] = flat_internal::H2(hash);
+        ++size_;
+        return index;
+      }
+      group = (group + step + 1) & group_mask;
+      assert(step <= group_count && "flat hash table is over-full");
+    }
+  }
+
+  void EraseAt(size_t index) {
+    assert(flat_internal::IsFull(ctrl_[index]));
+    slots_[index].~value_type();
+    ctrl_[index] = flat_internal::kDeleted;
+    --size_;
+  }
+
+  void Rehash(size_t new_capacity) {
+    uint8_t* old_ctrl = ctrl_;
+    value_type* old_slots = slots_;
+    size_t old_capacity = capacity_;
+
+    capacity_ = new_capacity;
+    ctrl_ = static_cast<uint8_t*>(::operator new(capacity_));
+    std::memset(ctrl_, flat_internal::kEmpty, capacity_);
+    slots_ = static_cast<value_type*>(::operator new(
+        capacity_ * sizeof(value_type), std::align_val_t(alignof(value_type))));
+    size_ = 0;
+    growth_left_ = GrowthCapacity(capacity_);
+
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (!flat_internal::IsFull(old_ctrl[i])) continue;
+      uint64_t hash = hash_(old_slots[i].first);
+      size_t index = PrepareInsert(hash);
+      new (slots_ + index) value_type(std::move(old_slots[i]));
+      old_slots[i].~value_type();
+    }
+    FreeArrays(old_ctrl, old_slots);
+  }
+
+  void CopyFrom(const FlatHashMap& other) {
+    reserve(other.size());
+    for (const auto& kv : other) {
+      TryEmplace(kv.first, kv.second);
+    }
+  }
+
+  void MoveFrom(FlatHashMap& other) noexcept {
+    ctrl_ = other.ctrl_;
+    slots_ = other.slots_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    growth_left_ = other.growth_left_;
+    other.ctrl_ = nullptr;
+    other.slots_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+    other.growth_left_ = 0;
+  }
+
+  void Destroy() {
+    if (capacity_ == 0) return;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (flat_internal::IsFull(ctrl_[i])) slots_[i].~value_type();
+    }
+    FreeArrays(ctrl_, slots_);
+    ctrl_ = nullptr;
+    slots_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
+    growth_left_ = 0;
+  }
+
+  static void FreeArrays(uint8_t* ctrl, value_type* slots) {
+    if (ctrl == nullptr) return;
+    ::operator delete(ctrl);
+    ::operator delete(slots, std::align_val_t(alignof(value_type)));
+  }
+
+  uint8_t* ctrl_ = nullptr;
+  value_type* slots_ = nullptr;
+  size_t capacity_ = 0;  // always 0 or a power of two multiple of 16
+  size_t size_ = 0;
+  size_t growth_left_ = 0;
+  [[no_unique_address]] Hash hash_;
+  [[no_unique_address]] Eq eq_;
+};
+
+// --- FlatHashSet --------------------------------------------------------
+
+namespace flat_internal {
+struct Unit {};
+}  // namespace flat_internal
+
+/// Open-addressing set over the same table. Iteration yields `const K&`.
+template <typename K, typename Hash = FlatHash, typename Eq = FlatEq>
+class FlatHashSet {
+  using Table = FlatHashMap<K, flat_internal::Unit, Hash, Eq>;
+
+ public:
+  class iterator {
+   public:
+    iterator() = default;
+    const K& operator*() const { return it_->first; }
+    const K* operator->() const { return &it_->first; }
+    iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.it_ == b.it_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.it_ != b.it_;
+    }
+
+   private:
+    friend class FlatHashSet;
+    explicit iterator(typename Table::iterator it) : it_(it) {}
+    typename Table::iterator it_;
+  };
+  using const_iterator = iterator;
+
+  FlatHashSet() = default;
+  explicit FlatHashSet(size_t initial_capacity) : table_(initial_capacity) {}
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  void clear() { table_.clear(); }
+  void reserve(size_t n) { table_.reserve(n); }
+
+  iterator begin() const { return iterator(table_.begin()); }
+  iterator end() const { return iterator(table_.end()); }
+
+  template <typename Key>
+  bool contains(const Key& key) const {
+    return table_.contains(key);
+  }
+  template <typename Key>
+  size_t count(const Key& key) const {
+    return table_.count(key);
+  }
+  template <typename Key>
+  iterator find(const Key& key) const {
+    return iterator(table_.find(key));
+  }
+
+  template <typename Key>
+  std::pair<iterator, bool> insert(Key&& key) {
+    auto [it, inserted] = table_.TryEmplace(std::forward<Key>(key));
+    return {iterator(it), inserted};
+  }
+
+  template <typename Key>
+  size_t erase(const Key& key) {
+    return table_.erase(key);
+  }
+
+ private:
+  Table table_;
+};
+
+}  // namespace swim
+
+#endif  // SWIM_COMMON_FLAT_HASH_H_

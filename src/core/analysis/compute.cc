@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "common/interner.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/units.h"
@@ -54,7 +54,13 @@ JobNameReport AnalyzeJobNames(const trace::Trace& trace) {
     double bytes = 0.0;
     double task_seconds = 0.0;
   };
-  std::unordered_map<std::string, Accumulator> by_word;
+  // Words are interned to dense ids in first-appearance order (only the
+  // short lowercased word is hashed per job, never the full name) and
+  // accumulated into an id-indexed vector — the emission order below is
+  // deterministic by construction.
+  StringInterner words;
+  words.Reserve(64);
+  std::vector<Accumulator> by_word;
   double total_jobs = 0.0;
   double total_bytes = 0.0;
   double total_task_seconds = 0.0;
@@ -62,7 +68,9 @@ JobNameReport AnalyzeJobNames(const trace::Trace& trace) {
     if (job.name.empty()) continue;
     std::string word = FirstWordOfJobName(job.name);
     if (word.empty()) word = "[identifier]";
-    Accumulator& acc = by_word[word];
+    uint32_t word_id = words.Intern(word);
+    if (word_id >= by_word.size()) by_word.resize(words.size());
+    Accumulator& acc = by_word[word_id];
     acc.jobs += 1.0;
     acc.bytes += job.TotalBytes();
     acc.task_seconds += job.TotalTaskSeconds();
@@ -74,10 +82,12 @@ JobNameReport AnalyzeJobNames(const trace::Trace& trace) {
   if (total_jobs == 0.0) return report;
 
   report.words.reserve(by_word.size());
-  for (const auto& [word, acc] : by_word) {
+  for (uint32_t w = 0; w < by_word.size(); ++w) {
+    const Accumulator& acc = by_word[w];
+    std::string_view word = words.NameOf(w);
     NameShare share;
-    share.word = word;
-    share.framework = trace::ClassifyFramework(word);
+    share.word = std::string(word);
+    share.framework = trace::ClassifyFramework(share.word);
     share.by_jobs = acc.jobs / total_jobs;
     share.by_bytes = total_bytes > 0.0 ? acc.bytes / total_bytes : 0.0;
     share.by_task_seconds =

@@ -2,28 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/interner.h"
 #include "stats/descriptive.h"
 #include "storage/access_stream.h"
 
 namespace swim::core {
 namespace {
 
-FilePopularity PopularityFromCounts(
-    const std::unordered_map<std::string, size_t>& counts) {
+// All path-keyed tables in this file are dense vectors indexed by the
+// trace's interned path ids (see Trace::path_interner): one array index
+// per touch instead of a string hash + chained-bucket walk. Ids are
+// assigned in first-appearance order, so every loop below is byte-for-byte
+// deterministic.
+
+FilePopularity PopularityFromCounts(const std::vector<size_t>& counts) {
   FilePopularity result;
-  result.distinct_files = counts.size();
   result.frequencies.reserve(counts.size());
-  for (const auto& [path, count] : counts) {
+  for (size_t count : counts) {
+    if (count == 0) continue;  // path only seen in the other direction
     result.frequencies.push_back(static_cast<double>(count));
     result.total_accesses += count;
   }
+  result.distinct_files = result.frequencies.size();
   std::sort(result.frequencies.begin(), result.frequencies.end(),
             std::greater<double>());
   result.zipf = stats::FitZipf(result.frequencies);
   return result;
+}
+
+FilePopularity ComputePopularity(const trace::Trace& trace, bool use_output) {
+  const std::vector<uint32_t>& ids =
+      use_output ? trace.output_path_ids() : trace.input_path_ids();
+  std::vector<size_t> counts(trace.path_interner().size(), 0);
+  for (uint32_t id : ids) {
+    if (id != kNoStringId) ++counts[id];
+  }
+  return PopularityFromCounts(counts);
+}
+
+/// Per-path (final) file size: the maximum bytes any job moved through the
+/// path, dense-indexed by path id; entries never touched stay negative.
+std::vector<double> FileSizesById(const trace::Trace& trace,
+                                  bool use_output) {
+  const std::vector<uint32_t>& ids =
+      use_output ? trace.output_path_ids() : trace.input_path_ids();
+  const std::vector<trace::JobRecord>& jobs = trace.jobs();
+  std::vector<double> file_sizes(trace.path_interner().size(), -1.0);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    uint32_t id = ids[i];
+    if (id == kNoStringId) continue;
+    double bytes =
+        use_output ? jobs[i].output_bytes : jobs[i].input_bytes;
+    file_sizes[id] = std::max(file_sizes[id], bytes);
+  }
+  return file_sizes;
 }
 
 }  // namespace
@@ -44,46 +77,33 @@ DataSizeCdfs ComputeDataSizeCdfs(const trace::Trace& trace) {
 }
 
 FilePopularity ComputeInputPopularity(const trace::Trace& trace) {
-  std::unordered_map<std::string, size_t> counts;
-  for (const auto& job : trace.jobs()) {
-    if (!job.input_path.empty()) ++counts[job.input_path];
-  }
-  return PopularityFromCounts(counts);
+  return ComputePopularity(trace, /*use_output=*/false);
 }
 
 FilePopularity ComputeOutputPopularity(const trace::Trace& trace) {
-  std::unordered_map<std::string, size_t> counts;
-  for (const auto& job : trace.jobs()) {
-    if (!job.output_path.empty()) ++counts[job.output_path];
-  }
-  return PopularityFromCounts(counts);
+  return ComputePopularity(trace, /*use_output=*/true);
 }
 
 SizeSkewCurve ComputeSizeSkew(const trace::Trace& trace, bool use_output,
                               size_t curve_points) {
   SizeSkewCurve curve;
-  // Per-job file size and per-file stored size.
+  // Per-file stored size, then per-job the (final) size of its file.
+  std::vector<double> file_sizes = FileSizesById(trace, use_output);
+  const std::vector<uint32_t>& ids =
+      use_output ? trace.output_path_ids() : trace.input_path_ids();
   std::vector<double> job_file_sizes;
-  std::unordered_map<std::string, double> file_sizes;
-  for (const auto& job : trace.jobs()) {
-    const std::string& path = use_output ? job.output_path : job.input_path;
-    double bytes = use_output ? job.output_bytes : job.input_bytes;
-    if (path.empty()) continue;
-    auto [it, inserted] = file_sizes.emplace(path, bytes);
-    if (!inserted) it->second = std::max(it->second, bytes);
-  }
-  // Second pass: attribute to each job the (final) size of its file.
-  for (const auto& job : trace.jobs()) {
-    const std::string& path = use_output ? job.output_path : job.input_path;
-    if (path.empty()) continue;
-    job_file_sizes.push_back(file_sizes[path]);
+  job_file_sizes.reserve(trace.size());
+  for (uint32_t id : ids) {
+    if (id == kNoStringId) continue;
+    job_file_sizes.push_back(file_sizes[id]);
   }
   curve.jobs_with_paths = job_file_sizes.size();
   if (job_file_sizes.empty()) return curve;
 
   std::vector<double> stored;
   stored.reserve(file_sizes.size());
-  for (const auto& [path, bytes] : file_sizes) {
+  for (double bytes : file_sizes) {
+    if (bytes < 0.0) continue;
     stored.push_back(bytes);
     curve.total_stored_bytes += bytes;
   }
@@ -127,19 +147,14 @@ double StoredBytesFractionForJobCoverage(const trace::Trace& trace,
                                          double job_fraction,
                                          bool use_output) {
   // Per-file (final) sizes and, per job, the size of the file it accessed.
-  std::unordered_map<std::string, double> file_sizes;
-  for (const auto& job : trace.jobs()) {
-    const std::string& path = use_output ? job.output_path : job.input_path;
-    double bytes = use_output ? job.output_bytes : job.input_bytes;
-    if (path.empty()) continue;
-    auto [it, inserted] = file_sizes.emplace(path, bytes);
-    if (!inserted) it->second = std::max(it->second, bytes);
-  }
+  std::vector<double> file_sizes = FileSizesById(trace, use_output);
+  const std::vector<uint32_t>& ids =
+      use_output ? trace.output_path_ids() : trace.input_path_ids();
   std::vector<double> job_file_sizes;
-  for (const auto& job : trace.jobs()) {
-    const std::string& path = use_output ? job.output_path : job.input_path;
-    if (path.empty()) continue;
-    job_file_sizes.push_back(file_sizes[path]);
+  job_file_sizes.reserve(trace.size());
+  for (uint32_t id : ids) {
+    if (id == kNoStringId) continue;
+    job_file_sizes.push_back(file_sizes[id]);
   }
   if (job_file_sizes.empty()) return 0.0;
 
@@ -149,7 +164,8 @@ double StoredBytesFractionForJobCoverage(const trace::Trace& trace,
   // ... and the share of stored bytes held by files of size <= S.
   double covered_bytes = 0.0;
   double total_bytes = 0.0;
-  for (const auto& [path, bytes] : file_sizes) {
+  for (double bytes : file_sizes) {
+    if (bytes < 0.0) continue;
     total_bytes += bytes;
     if (bytes <= threshold) covered_bytes += bytes;
   }
@@ -159,23 +175,24 @@ double StoredBytesFractionForJobCoverage(const trace::Trace& trace,
 ReaccessIntervals ComputeReaccessIntervals(const trace::Trace& trace) {
   std::vector<double> input_input;
   std::vector<double> output_input;
-  std::unordered_map<std::string, double> last_read;    // path -> time
-  std::unordered_map<std::string, double> last_written;  // path -> time
+  // path id -> last access time; negative means never.
+  const size_t path_count = trace.path_interner().size();
+  std::vector<double> last_read(path_count, -1.0);
+  std::vector<double> last_written(path_count, -1.0);
   // Walk the merged access stream chronologically.
   for (const auto& access : storage::ExtractAccesses(trace)) {
+    uint32_t id = access.path_id;
     if (access.kind == storage::AccessKind::kRead) {
-      auto read_it = last_read.find(access.path);
-      if (read_it != last_read.end()) {
-        input_input.push_back(access.time - read_it->second);
+      if (last_read[id] >= 0.0) {
+        input_input.push_back(access.time - last_read[id]);
       }
-      auto write_it = last_written.find(access.path);
-      if (write_it != last_written.end()) {
-        double interval = access.time - write_it->second;
+      if (last_written[id] >= 0.0) {
+        double interval = access.time - last_written[id];
         if (interval >= 0.0) output_input.push_back(interval);
       }
-      last_read[access.path] = access.time;
+      last_read[id] = access.time;
     } else {
-      last_written[access.path] = access.time;
+      last_written[id] = access.time;
     }
   }
   return ReaccessIntervals{stats::EmpiricalCdf(std::move(input_input)),
@@ -184,24 +201,26 @@ ReaccessIntervals ComputeReaccessIntervals(const trace::Trace& trace) {
 
 ReaccessFractions ComputeReaccessFractions(const trace::Trace& trace) {
   ReaccessFractions result;
-  std::unordered_set<std::string> seen_inputs;
-  std::unordered_set<std::string> seen_outputs;
+  const size_t path_count = trace.path_interner().size();
+  std::vector<uint8_t> seen_inputs(path_count, 0);
+  std::vector<uint8_t> seen_outputs(path_count, 0);
   size_t input_hits = 0;
   size_t output_hits = 0;
   // Chronological scan; for each job, was its input path pre-existing?
   for (const auto& access : storage::ExtractAccesses(trace)) {
+    uint32_t id = access.path_id;
     if (access.kind == storage::AccessKind::kRead) {
       ++result.jobs_with_paths;
       // Count the strongest provenance: output-of-an-earlier-job wins over
       // input-seen-before (matches Figure 6's two stacked categories).
-      if (seen_outputs.count(access.path) > 0) {
+      if (seen_outputs[id]) {
         ++output_hits;
-      } else if (seen_inputs.count(access.path) > 0) {
+      } else if (seen_inputs[id]) {
         ++input_hits;
       }
-      seen_inputs.insert(access.path);
+      seen_inputs[id] = 1;
     } else {
-      seen_outputs.insert(access.path);
+      seen_outputs[id] = 1;
     }
   }
   if (result.jobs_with_paths > 0) {

@@ -14,8 +14,10 @@ StatusOr<WorkloadReport> AnalyzeWorkload(const trace::Trace& trace,
                                          const AnalysisOptions& options) {
   if (trace.empty()) return InvalidArgumentError("empty trace");
   WorkloadReport report;
-  // Force the trace's lazy submit-time sort before stages share it.
+  // Force the trace's lazy submit-time sort and path id index before
+  // stages share it (the lazy builds are not thread-safe).
   trace.StartTime();
+  trace.input_path_ids();
   // Each stage writes one disjoint report field and reads only the trace,
   // so they are data-race free and their outputs are order-independent.
   std::vector<std::function<void()>> stages = {

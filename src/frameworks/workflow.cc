@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
+#include "common/flat_hash.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/units.h"
@@ -197,7 +197,7 @@ bool ParseWorkflowTag(const std::string& name, uint64_t* workflow_id) {
 
 WorkflowReport ReconstructWorkflows(const trace::Trace& trace) {
   WorkflowReport report;
-  std::map<uint64_t, WorkflowSummary> grouped;
+  FlatHashMap<uint64_t, WorkflowSummary> grouped;
   for (const auto& job : trace.jobs()) {
     uint64_t workflow_id = 0;
     if (!ParseWorkflowTag(job.name, &workflow_id)) {
@@ -222,7 +222,8 @@ WorkflowReport ReconstructWorkflows(const trace::Trace& trace) {
     ++summary.stages;
   }
   // Second pass for spans (need max finish per workflow).
-  std::map<uint64_t, double> last_finish;
+  FlatHashMap<uint64_t, double> last_finish;
+  last_finish.reserve(grouped.size());
   for (const auto& job : trace.jobs()) {
     uint64_t workflow_id = 0;
     if (!ParseWorkflowTag(job.name, &workflow_id)) continue;
@@ -230,9 +231,20 @@ WorkflowReport ReconstructWorkflows(const trace::Trace& trace) {
     finish = std::max(finish, job.FinishTime());
   }
 
+  // Emit in ascending workflow-id order (the order the std::map-based
+  // implementation produced).
+  std::vector<uint64_t> ordered_ids;
+  ordered_ids.reserve(grouped.size());
+  for (const auto& [workflow_id, summary] : grouped) {
+    ordered_ids.push_back(workflow_id);
+  }
+  std::sort(ordered_ids.begin(), ordered_ids.end());
+
   double stage_sum = 0.0;
   size_t multi = 0;
-  for (auto& [workflow_id, summary] : grouped) {
+  report.workflows.reserve(ordered_ids.size());
+  for (uint64_t workflow_id : ordered_ids) {
+    WorkflowSummary& summary = grouped.at(workflow_id);
     summary.span_seconds = last_finish[workflow_id] - summary.span_seconds;
     stage_sum += static_cast<double>(summary.stages);
     report.max_stages =

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/statusor.h"
 #include "frameworks/query_plan.h"
 #include "trace/trace.h"
@@ -20,9 +20,9 @@ namespace swim::frameworks {
 struct WorkflowTrace {
   trace::Trace trace;
   /// job_id -> prerequisite job_ids; feed to sim::ReplayOptions.
-  std::unordered_map<uint64_t, std::vector<uint64_t>> dependencies;
+  FlatHashMap<uint64_t, std::vector<uint64_t>> dependencies;
   /// job_id -> workflow ordinal.
-  std::unordered_map<uint64_t, uint64_t> workflow_of;
+  FlatHashMap<uint64_t, uint64_t> workflow_of;
   size_t workflow_count = 0;
 };
 

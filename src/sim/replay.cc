@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_set>
 
 #include "common/random.h"
 #include "stats/descriptive.h"
@@ -129,7 +128,7 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
   // counters / child lists.
   std::vector<std::vector<size_t>> children(jobs.size());
   if (!options.dependencies.empty()) {
-    std::unordered_map<uint64_t, size_t> index_of;
+    FlatHashMap<uint64_t, size_t> index_of;
     index_of.reserve(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
       index_of[jobs[i].record->job_id] = i;

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/statusor.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
@@ -53,7 +53,7 @@ struct ReplayOptions {
   /// only after its submit time AND all parents finished. Unknown job ids
   /// are rejected; dependency cycles stall their jobs (reported via
   /// ReplayResult::unfinished_jobs rather than hanging).
-  std::unordered_map<uint64_t, std::vector<uint64_t>> dependencies;
+  FlatHashMap<uint64_t, std::vector<uint64_t>> dependencies;
 };
 
 /// Outcome of one replayed job.

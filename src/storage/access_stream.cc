@@ -7,14 +7,19 @@ namespace swim::storage {
 std::vector<FileAccess> ExtractAccesses(const trace::Trace& trace) {
   std::vector<FileAccess> accesses;
   accesses.reserve(trace.size() * 2);
-  for (const auto& job : trace.jobs()) {
+  const std::vector<uint32_t>& input_ids = trace.input_path_ids();
+  const std::vector<uint32_t>& output_ids = trace.output_path_ids();
+  const std::vector<trace::JobRecord>& jobs = trace.jobs();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
     if (!job.input_path.empty()) {
       accesses.push_back({job.submit_time, job.input_path, job.input_bytes,
-                          AccessKind::kRead, job.job_id});
+                          AccessKind::kRead, job.job_id, input_ids[i]});
     }
     if (!job.output_path.empty()) {
       accesses.push_back({job.FinishTime(), job.output_path,
-                          job.output_bytes, AccessKind::kWrite, job.job_id});
+                          job.output_bytes, AccessKind::kWrite, job.job_id,
+                          output_ids[i]});
     }
   }
   std::stable_sort(accesses.begin(), accesses.end(),
@@ -24,11 +29,26 @@ std::vector<FileAccess> ExtractAccesses(const trace::Trace& trace) {
   return accesses;
 }
 
-std::unordered_map<std::string, double> ComputeFileSizes(
-    const std::vector<FileAccess>& accesses) {
-  std::unordered_map<std::string, double> sizes;
+std::unordered_map<std::string, double, TransparentStringHash,
+                   TransparentStringEq>
+ComputeFileSizes(const std::vector<FileAccess>& accesses) {
+  std::unordered_map<std::string, double, TransparentStringHash,
+                     TransparentStringEq>
+      sizes;
+  sizes.reserve(accesses.size());
   for (const auto& access : accesses) {
     double& size = sizes[access.path];
+    size = std::max(size, access.bytes);
+  }
+  return sizes;
+}
+
+std::vector<double> ComputeFileSizesById(
+    const std::vector<FileAccess>& accesses, size_t path_count) {
+  std::vector<double> sizes(path_count, 0.0);
+  for (const auto& access : accesses) {
+    if (access.path_id == kNoStringId) continue;
+    double& size = sizes[access.path_id];
     size = std::max(size, access.bytes);
   }
   return sizes;

@@ -1,10 +1,13 @@
 #ifndef SWIM_STORAGE_ACCESS_STREAM_H_
 #define SWIM_STORAGE_ACCESS_STREAM_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/interner.h"
 #include "trace/trace.h"
 
 namespace swim::storage {
@@ -19,17 +22,29 @@ struct FileAccess {
   double bytes = 0.0;
   AccessKind kind = AccessKind::kRead;
   uint64_t job_id = 0;
+  /// Dense path id from the trace's path interner (kNoStringId when the
+  /// access was built by hand without a trace). All hot consumers key on
+  /// this instead of re-hashing `path`.
+  uint32_t path_id = kNoStringId;
 };
 
 /// Chronological file-access stream for a trace. Jobs without the relevant
-/// path are skipped.
+/// path are skipped. Each access carries the trace's interned path id.
 std::vector<FileAccess> ExtractAccesses(const trace::Trace& trace);
 
 /// Estimated size of each distinct path: the maximum bytes any single
 /// access moved. (Real HDFS metadata is unavailable in per-job traces;
 /// the paper's Figures 3/4 similarly infer file size from per-job I/O.)
-std::unordered_map<std::string, double> ComputeFileSizes(
-    const std::vector<FileAccess>& accesses);
+/// The map is transparent: lookups accept std::string_view.
+std::unordered_map<std::string, double, TransparentStringHash,
+                   TransparentStringEq>
+ComputeFileSizes(const std::vector<FileAccess>& accesses);
+
+/// Id-keyed variant for accesses that carry interned path ids: returns a
+/// dense table indexed by path id (`path_count` == interner size; accesses
+/// without an id are skipped). Entries never accessed stay 0.
+std::vector<double> ComputeFileSizesById(
+    const std::vector<FileAccess>& accesses, size_t path_count);
 
 }  // namespace swim::storage
 

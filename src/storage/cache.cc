@@ -6,138 +6,159 @@
 
 namespace swim::storage {
 
+namespace cache_internal {
+
+void IdList::Grow(uint32_t id) {
+  if (id < linked_.size()) return;
+  size_t new_size = static_cast<size_t>(id) + 1;
+  next_.resize(new_size, kNil);
+  prev_.resize(new_size, kNil);
+  linked_.resize(new_size, 0);
+}
+
+void IdList::PushFront(uint32_t id) {
+  Grow(id);
+  SWIM_CHECK(!linked_[id]) << "id already linked";
+  prev_[id] = kNil;
+  next_[id] = head_;
+  if (head_ != kNil) prev_[head_] = id;
+  head_ = id;
+  if (tail_ == kNil) tail_ = id;
+  linked_[id] = 1;
+}
+
+void IdList::Remove(uint32_t id) {
+  if (!Contains(id)) return;
+  uint32_t before = prev_[id];
+  uint32_t after = next_[id];
+  if (before != kNil) next_[before] = after; else head_ = after;
+  if (after != kNil) prev_[after] = before; else tail_ = before;
+  next_[id] = kNil;
+  prev_[id] = kNil;
+  linked_[id] = 0;
+}
+
+}  // namespace cache_internal
+
+uint32_t FileCache::ResolveId(const FileAccess& access) {
+  if (access.path_id != kNoStringId) return access.path_id;
+  return own_ids_.Intern(access.path);
+}
+
+uint32_t FileCache::AnyResident() const {
+  for (size_t id = 0; id < resident_bytes_.size(); ++id) {
+    if (resident_bytes_[id] >= 0.0) return static_cast<uint32_t>(id);
+  }
+  SWIM_LOG(Fatal) << "no resident file";
+  return cache_internal::IdList::kNil;
+}
+
 bool FileCache::Access(const FileAccess& access) {
   if (access.kind == AccessKind::kWrite) {
     // Write-through: outputs land in the cache (refreshing size) so that
     // output->input chains (section 4.3) can hit.
-    Insert(access);
+    Insert(access, ResolveId(access));
     return false;
   }
   ++stats_.accesses;
   stats_.bytes_requested += access.bytes;
-  auto it = resident_.find(access.path);
-  if (it != resident_.end()) {
+  uint32_t id = ResolveId(access);
+  if (IsResident(id)) {
     ++stats_.hits;
     stats_.bytes_hit += access.bytes;
-    OnHit(access.path);
+    OnHit(id);
     return true;
   }
-  Insert(access);
+  Insert(access, id);
   return false;
 }
 
-void FileCache::Insert(const FileAccess& access) {
+void FileCache::Insert(const FileAccess& access, uint32_t id) {
   if (access.bytes > capacity_bytes_ || !ShouldAdmit(access)) {
     ++stats_.admission_rejections;
     return;
   }
-  auto it = resident_.find(access.path);
-  if (it != resident_.end()) {
-    // Refresh: adjust for a size change and touch recency.
-    used_bytes_ += access.bytes - it->second;
-    it->second = access.bytes;
-    OnHit(access.path);
-  } else {
-    resident_[access.path] = access.bytes;
-    used_bytes_ += access.bytes;
-    OnInsert(access.path);
+  if (id >= resident_bytes_.size()) {
+    resident_bytes_.resize(static_cast<size_t>(id) + 1, -1.0);
   }
-  while (used_bytes_ > capacity_bytes_ && resident_.size() > 1) {
-    std::string victim = ChooseVictim();
-    auto victim_it = resident_.find(victim);
-    SWIM_CHECK(victim_it != resident_.end()) << "policy evicted non-resident";
-    if (victim == access.path && resident_.size() == 1) break;
-    used_bytes_ -= victim_it->second;
-    resident_.erase(victim_it);
+  if (resident_bytes_[id] >= 0.0) {
+    // Refresh: adjust for a size change and touch recency.
+    used_bytes_ += access.bytes - resident_bytes_[id];
+    resident_bytes_[id] = access.bytes;
+    OnHit(id);
+  } else {
+    resident_bytes_[id] = access.bytes;
+    ++resident_count_;
+    used_bytes_ += access.bytes;
+    OnInsert(id);
+  }
+  while (used_bytes_ > capacity_bytes_ && resident_count_ > 1) {
+    uint32_t victim = ChooseVictim();
+    SWIM_CHECK(IsResident(victim)) << "policy evicted non-resident";
+    if (victim == id && resident_count_ == 1) break;
+    used_bytes_ -= resident_bytes_[victim];
+    resident_bytes_[victim] = -1.0;
+    --resident_count_;
     OnEvict(victim);
     ++stats_.evictions;
   }
   // A single file larger than capacity was rejected above, so the loop
   // always terminates with used_bytes_ <= capacity once alone.
-  if (used_bytes_ > capacity_bytes_ && resident_.size() == 1 &&
-      resident_.begin()->first != access.path) {
-    std::string victim = resident_.begin()->first;
-    used_bytes_ -= resident_.begin()->second;
-    resident_.erase(resident_.begin());
-    OnEvict(victim);
-    ++stats_.evictions;
+  if (used_bytes_ > capacity_bytes_ && resident_count_ == 1) {
+    uint32_t only = AnyResident();
+    if (only != id) {
+      used_bytes_ -= resident_bytes_[only];
+      resident_bytes_[only] = -1.0;
+      --resident_count_;
+      OnEvict(only);
+      ++stats_.evictions;
+    }
   }
 }
 
-// --- LRU --------------------------------------------------------------
+// --- LRU / FIFO -------------------------------------------------------
 
-void LruCache::Touch(const std::string& path) {
-  auto it = where_.find(path);
-  if (it != where_.end()) order_.erase(it->second);
-  order_.push_front(path);
-  where_[path] = order_.begin();
-}
-
-void LruCache::OnInsert(const std::string& path) { Touch(path); }
-void LruCache::OnHit(const std::string& path) { Touch(path); }
-
-std::string LruCache::ChooseVictim() {
+uint32_t LruCache::ChooseVictim() {
   SWIM_CHECK(!order_.empty());
   return order_.back();
 }
 
-void LruCache::OnEvict(const std::string& path) {
-  auto it = where_.find(path);
-  if (it != where_.end()) {
-    order_.erase(it->second);
-    where_.erase(it);
-  }
-}
-
-// --- FIFO -------------------------------------------------------------
-
-void FifoCache::OnInsert(const std::string& path) {
-  order_.push_front(path);
-  where_[path] = order_.begin();
-}
-
-std::string FifoCache::ChooseVictim() {
+uint32_t FifoCache::ChooseVictim() {
   SWIM_CHECK(!order_.empty());
   return order_.back();
-}
-
-void FifoCache::OnEvict(const std::string& path) {
-  auto it = where_.find(path);
-  if (it != where_.end()) {
-    order_.erase(it->second);
-    where_.erase(it);
-  }
 }
 
 // --- LFU --------------------------------------------------------------
 
-void LfuCache::OnInsert(const std::string& path) {
-  entries_[path] = Entry{1, ++clock_};
+void LfuCache::OnInsert(uint32_t id) {
+  entries_[id] = Entry{1, ++clock_};
 }
 
-void LfuCache::OnHit(const std::string& path) {
-  Entry& e = entries_[path];
+void LfuCache::OnHit(uint32_t id) {
+  Entry& e = entries_[id];
   ++e.frequency;
   e.last_touch = ++clock_;
 }
 
-std::string LfuCache::ChooseVictim() {
+uint32_t LfuCache::ChooseVictim() {
   SWIM_CHECK(!entries_.empty());
-  const std::string* victim = nullptr;
+  // The minimum over (frequency, last_touch) is unique because last_touch
+  // is a strictly increasing clock, so the scan order cannot matter.
+  uint32_t victim = cache_internal::IdList::kNil;
   uint64_t best_freq = std::numeric_limits<uint64_t>::max();
   uint64_t best_touch = std::numeric_limits<uint64_t>::max();
-  for (const auto& [path, entry] : entries_) {
+  for (const auto& [id, entry] : entries_) {
     if (entry.frequency < best_freq ||
         (entry.frequency == best_freq && entry.last_touch < best_touch)) {
       best_freq = entry.frequency;
       best_touch = entry.last_touch;
-      victim = &path;
+      victim = id;
     }
   }
-  return *victim;
+  return victim;
 }
 
-void LfuCache::OnEvict(const std::string& path) { entries_.erase(path); }
+void LfuCache::OnEvict(uint32_t id) { entries_.erase(id); }
 
 // --- Size threshold / unbounded ----------------------------------------
 
@@ -148,9 +169,9 @@ std::string SizeThresholdLruCache::name() const {
 UnboundedCache::UnboundedCache()
     : FileCache(std::numeric_limits<double>::max()) {}
 
-std::string UnboundedCache::ChooseVictim() {
+uint32_t UnboundedCache::ChooseVictim() {
   SWIM_LOG(Fatal) << "UnboundedCache never evicts";
-  return "";
+  return cache_internal::IdList::kNil;
 }
 
 CacheStats ReplayAccesses(const std::vector<FileAccess>& accesses,

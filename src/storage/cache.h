@@ -1,12 +1,13 @@
 #ifndef SWIM_STORAGE_CACHE_H_
 #define SWIM_STORAGE_CACHE_H_
 
-#include <list>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/interner.h"
 #include "storage/access_stream.h"
 
 namespace swim::storage {
@@ -35,6 +36,14 @@ struct CacheStats {
 /// Whole-file cache with pluggable policy. Reads probe the cache and
 /// insert on miss (if admitted); writes insert/refresh the file (write-
 /// through semantics - HDFS outputs are immediately re-readable).
+///
+/// Internally every file is a dense uint32_t id: accesses carrying a
+/// trace-interned path_id use it directly (no hashing at all on the hot
+/// path); accesses without one are interned on first touch by a per-cache
+/// interner (one flat-hash probe). A single cache instance must see a
+/// consistent stream — either all accesses with path ids from one trace,
+/// or all without. Residency, sizes, and the LRU/FIFO recency lists are
+/// flat arrays indexed by id; no per-access heap allocation.
 class FileCache {
  public:
   virtual ~FileCache() = default;
@@ -46,33 +55,71 @@ class FileCache {
   const CacheStats& stats() const { return stats_; }
   double capacity_bytes() const { return capacity_bytes_; }
   double used_bytes() const { return used_bytes_; }
-  size_t resident_files() const { return resident_.size(); }
+  size_t resident_files() const { return resident_count_; }
   virtual std::string name() const = 0;
 
  protected:
   explicit FileCache(double capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
 
-  /// Policy hooks.
+  /// Policy hooks, keyed by dense file id.
   virtual bool ShouldAdmit(const FileAccess& /*access*/) { return true; }
-  virtual void OnInsert(const std::string& path) = 0;
-  virtual void OnHit(const std::string& path) = 0;
-  /// Chooses a victim; must return a resident path.
-  virtual std::string ChooseVictim() = 0;
-  virtual void OnEvict(const std::string& path) = 0;
+  virtual void OnInsert(uint32_t id) = 0;
+  virtual void OnHit(uint32_t id) = 0;
+  /// Chooses a victim; must return a resident id.
+  virtual uint32_t ChooseVictim() = 0;
+  virtual void OnEvict(uint32_t id) = 0;
 
-  bool IsResident(const std::string& path) const {
-    return resident_.count(path) > 0;
+  bool IsResident(uint32_t id) const {
+    return id < resident_bytes_.size() && resident_bytes_[id] >= 0.0;
   }
+  /// First resident id (scan); used only by the capacity edge case.
+  uint32_t AnyResident() const;
 
  private:
-  void Insert(const FileAccess& access);
+  void Insert(const FileAccess& access, uint32_t id);
+  uint32_t ResolveId(const FileAccess& access);
 
   double capacity_bytes_;
   double used_bytes_ = 0.0;
-  std::unordered_map<std::string, double> resident_;  // path -> bytes
+  /// id -> bytes; negative means not resident.
+  std::vector<double> resident_bytes_;
+  size_t resident_count_ = 0;
+  StringInterner own_ids_;  // only for accesses without a path_id
   CacheStats stats_;
 };
+
+namespace cache_internal {
+
+/// Doubly-linked recency list over dense ids, nodes stored in flat arrays
+/// (an intrusive list without per-node allocation). Front = most recent.
+class IdList {
+ public:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  bool Contains(uint32_t id) const {
+    return id < linked_.size() && linked_[id];
+  }
+  void PushFront(uint32_t id);
+  void Remove(uint32_t id);
+  void MoveToFront(uint32_t id) {
+    Remove(id);
+    PushFront(id);
+  }
+  uint32_t back() const { return tail_; }
+  bool empty() const { return head_ == kNil; }
+
+ private:
+  void Grow(uint32_t id);
+
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> prev_;
+  std::vector<uint8_t> linked_;
+  uint32_t head_ = kNil;
+  uint32_t tail_ = kNil;
+};
+
+}  // namespace cache_internal
 
 /// Least-recently-used eviction.
 class LruCache : public FileCache {
@@ -81,15 +128,13 @@ class LruCache : public FileCache {
   std::string name() const override { return "LRU"; }
 
  protected:
-  void OnInsert(const std::string& path) override;
-  void OnHit(const std::string& path) override;
-  std::string ChooseVictim() override;
-  void OnEvict(const std::string& path) override;
+  void OnInsert(uint32_t id) override { order_.MoveToFront(id); }
+  void OnHit(uint32_t id) override { order_.MoveToFront(id); }
+  uint32_t ChooseVictim() override;
+  void OnEvict(uint32_t id) override { order_.Remove(id); }
 
  private:
-  void Touch(const std::string& path);
-  std::list<std::string> order_;  // front = most recent
-  std::unordered_map<std::string, std::list<std::string>::iterator> where_;
+  cache_internal::IdList order_;  // front = most recent
 };
 
 /// First-in-first-out eviction.
@@ -99,14 +144,13 @@ class FifoCache : public FileCache {
   std::string name() const override { return "FIFO"; }
 
  protected:
-  void OnInsert(const std::string& path) override;
-  void OnHit(const std::string& /*path*/) override {}
-  std::string ChooseVictim() override;
-  void OnEvict(const std::string& path) override;
+  void OnInsert(uint32_t id) override { order_.PushFront(id); }
+  void OnHit(uint32_t /*id*/) override {}
+  uint32_t ChooseVictim() override;
+  void OnEvict(uint32_t id) override { order_.Remove(id); }
 
  private:
-  std::list<std::string> order_;  // front = newest
-  std::unordered_map<std::string, std::list<std::string>::iterator> where_;
+  cache_internal::IdList order_;  // front = newest
 };
 
 /// Least-frequently-used eviction (ties broken by least recent).
@@ -116,17 +160,18 @@ class LfuCache : public FileCache {
   std::string name() const override { return "LFU"; }
 
  protected:
-  void OnInsert(const std::string& path) override;
-  void OnHit(const std::string& path) override;
-  std::string ChooseVictim() override;
-  void OnEvict(const std::string& path) override;
+  void OnInsert(uint32_t id) override;
+  void OnHit(uint32_t id) override;
+  uint32_t ChooseVictim() override;
+  void OnEvict(uint32_t id) override;
 
  private:
   struct Entry {
     uint64_t frequency = 0;
     uint64_t last_touch = 0;
   };
-  std::unordered_map<std::string, Entry> entries_;
+  /// Resident entries only, so victim scans stay O(resident files).
+  FlatHashMap<uint32_t, Entry> entries_;
   uint64_t clock_ = 0;
 };
 
@@ -156,10 +201,10 @@ class UnboundedCache : public FileCache {
   std::string name() const override { return "Unbounded"; }
 
  protected:
-  void OnInsert(const std::string& /*path*/) override {}
-  void OnHit(const std::string& /*path*/) override {}
-  std::string ChooseVictim() override;
-  void OnEvict(const std::string& /*path*/) override {}
+  void OnInsert(uint32_t /*id*/) override {}
+  void OnHit(uint32_t /*id*/) override {}
+  uint32_t ChooseVictim() override;
+  void OnEvict(uint32_t /*id*/) override {}
 };
 
 /// Runs a full access stream through a cache.

@@ -29,11 +29,13 @@ std::vector<int> HdfsNamespace::PlaceReplicas() {
   return nodes;
 }
 
-Status HdfsNamespace::CreateFile(const std::string& path, double bytes) {
+Status HdfsNamespace::CreateFile(std::string_view path, double bytes) {
   if (path.empty()) return InvalidArgumentError("empty path");
-  if (bytes < 0.0) return InvalidArgumentError("negative size: " + path);
-  if (files_.count(path) > 0) {
-    return AlreadyExistsError("file exists: " + path);
+  if (bytes < 0.0) {
+    return InvalidArgumentError("negative size: " + std::string(path));
+  }
+  if (files_.contains(path)) {
+    return AlreadyExistsError("file exists: " + std::string(path));
   }
   HdfsFileInfo info;
   info.path = path;
@@ -54,18 +56,20 @@ Status HdfsNamespace::CreateFile(const std::string& path, double bytes) {
     info.blocks.push_back(std::move(block));
   }
   total_stored_bytes_ += bytes;
-  files_.emplace(path, std::move(info));
+  files_.TryEmplace(path, std::move(info));
   return Status::Ok();
 }
 
-Status HdfsNamespace::WriteFile(const std::string& path, double bytes) {
+Status HdfsNamespace::WriteFile(std::string_view path, double bytes) {
   if (Exists(path)) SWIM_RETURN_IF_ERROR(DeleteFile(path));
   return CreateFile(path, bytes);
 }
 
-Status HdfsNamespace::DeleteFile(const std::string& path) {
+Status HdfsNamespace::DeleteFile(std::string_view path) {
   auto it = files_.find(path);
-  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
   const HdfsFileInfo& info = it->second;
   double remaining = info.bytes;
   for (const auto& block : info.blocks) {
@@ -78,13 +82,15 @@ Status HdfsNamespace::DeleteFile(const std::string& path) {
   return Status::Ok();
 }
 
-bool HdfsNamespace::Exists(const std::string& path) const {
-  return files_.count(path) > 0;
+bool HdfsNamespace::Exists(std::string_view path) const {
+  return files_.contains(path);
 }
 
-StatusOr<HdfsFileInfo> HdfsNamespace::Stat(const std::string& path) const {
+StatusOr<HdfsFileInfo> HdfsNamespace::Stat(std::string_view path) const {
   auto it = files_.find(path);
-  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
   return it->second;
 }
 

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -40,16 +41,17 @@ class HdfsNamespace {
   explicit HdfsNamespace(const HdfsOptions& options);
 
   /// Creates a file; fails if the path already exists (HDFS semantics) or
-  /// size is negative.
-  Status CreateFile(const std::string& path, double bytes);
+  /// size is negative. Paths are taken as string_view — the namespace map
+  /// is transparent, so probes never construct a temporary std::string.
+  Status CreateFile(std::string_view path, double bytes);
 
   /// Creates or replaces (delete + create).
-  Status WriteFile(const std::string& path, double bytes);
+  Status WriteFile(std::string_view path, double bytes);
 
-  Status DeleteFile(const std::string& path);
+  Status DeleteFile(std::string_view path);
 
-  bool Exists(const std::string& path) const;
-  StatusOr<HdfsFileInfo> Stat(const std::string& path) const;
+  bool Exists(std::string_view path) const;
+  StatusOr<HdfsFileInfo> Stat(std::string_view path) const;
 
   size_t file_count() const { return files_.size(); }
   double total_stored_bytes() const { return total_stored_bytes_; }
@@ -67,7 +69,7 @@ class HdfsNamespace {
   HdfsOptions options_;
   Pcg32 rng_;
   uint64_t next_block_id_ = 1;
-  std::unordered_map<std::string, HdfsFileInfo> files_;
+  FlatHashMap<std::string, HdfsFileInfo> files_;
   std::vector<double> node_bytes_;
   double total_stored_bytes_ = 0.0;
 };

@@ -11,11 +11,15 @@ void Trace::AddJob(JobRecord job) {
     sorted_ = false;
   }
   jobs_.push_back(std::move(job));
+  path_indexed_ = false;
+  name_indexed_ = false;
 }
 
 void Trace::SetJobs(std::vector<JobRecord> jobs) {
   jobs_ = std::move(jobs);
   sorted_ = false;
+  path_indexed_ = false;
+  name_indexed_ = false;
   EnsureSorted();
 }
 
@@ -26,6 +30,40 @@ void Trace::EnsureSorted() const {
                      return a.submit_time < b.submit_time;
                    });
   sorted_ = true;
+  path_indexed_ = false;  // ids are assigned in sorted order
+  name_indexed_ = false;
+}
+
+void Trace::EnsurePathIndex() const {
+  if (path_indexed_) return;
+  EnsureSorted();
+  path_interner_.Clear();
+  input_path_ids_.clear();
+  output_path_ids_.clear();
+  input_path_ids_.reserve(jobs_.size());
+  output_path_ids_.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    input_path_ids_.push_back(
+        job.input_path.empty() ? kNoStringId
+                               : path_interner_.Intern(job.input_path));
+    output_path_ids_.push_back(
+        job.output_path.empty() ? kNoStringId
+                                : path_interner_.Intern(job.output_path));
+  }
+  path_indexed_ = true;
+}
+
+void Trace::EnsureNameIndex() const {
+  if (name_indexed_) return;
+  EnsureSorted();
+  name_interner_.Clear();
+  name_ids_.clear();
+  name_ids_.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    name_ids_.push_back(job.name.empty() ? kNoStringId
+                                         : name_interner_.Intern(job.name));
+  }
+  name_indexed_ = true;
 }
 
 Status Trace::Validate() const {

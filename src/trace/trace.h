@@ -1,9 +1,11 @@
 #ifndef SWIM_TRACE_TRACE_H_
 #define SWIM_TRACE_TRACE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "trace/job_record.h"
 
@@ -65,12 +67,65 @@ class Trace {
   std::vector<double> HourlyBytes() const;
   std::vector<double> HourlyTaskSeconds() const;
 
+  // --- Interned id columns ---------------------------------------------
+  //
+  // Paths and job names are interned to dense uint32_t ids so the hot
+  // analysis/storage/replay loops can key flat tables by integer instead
+  // of re-hashing HDFS path strings. Ids are assigned in first-appearance
+  // order over the submit-sorted job stream (input path before output path
+  // per job), so they are deterministic for a given trace regardless of
+  // SWIM_THREADS. Input and output paths share one id space — an
+  // output later read as an input maps to the same id, which is what the
+  // re-access and cache analyses key on. Jobs without the field map to
+  // kNoStringId.
+  //
+  // The path and name indexes are built lazily (and independently — a
+  // popularity analysis never pays for name interning and vice versa) on
+  // first access, and invalidated by AddJob/SetJobs. The lazy builds are
+  // NOT thread-safe: callers that fan out over a shared trace must touch
+  // the accessors they need first (as AnalyzeWorkload does), mirroring
+  // the EnsureSorted contract.
+
+  /// Interner over input/output paths; ids index path-keyed tables.
+  const StringInterner& path_interner() const {
+    EnsurePathIndex();
+    return path_interner_;
+  }
+  /// Interner over job names.
+  const StringInterner& name_interner() const {
+    EnsureNameIndex();
+    return name_interner_;
+  }
+  /// Per-job id columns, parallel to jobs().
+  const std::vector<uint32_t>& input_path_ids() const {
+    EnsurePathIndex();
+    return input_path_ids_;
+  }
+  const std::vector<uint32_t>& output_path_ids() const {
+    EnsurePathIndex();
+    return output_path_ids_;
+  }
+  const std::vector<uint32_t>& name_ids() const {
+    EnsureNameIndex();
+    return name_ids_;
+  }
+
  private:
   void EnsureSorted() const;
+  void EnsurePathIndex() const;
+  void EnsureNameIndex() const;
 
   TraceMetadata metadata_;
   mutable std::vector<JobRecord> jobs_;
   mutable bool sorted_ = true;
+
+  mutable bool path_indexed_ = false;
+  mutable bool name_indexed_ = false;
+  mutable StringInterner path_interner_;
+  mutable StringInterner name_interner_;
+  mutable std::vector<uint32_t> input_path_ids_;
+  mutable std::vector<uint32_t> output_path_ids_;
+  mutable std::vector<uint32_t> name_ids_;
 };
 
 template <typename Extractor>
