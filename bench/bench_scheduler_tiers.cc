@@ -33,10 +33,11 @@ int main() {
       options.scheduler = policy;
       auto result = sim::ReplayTrace(t, options);
       SWIM_CHECK_OK(result.status());
+      stats::SortedStats small_latencies = result->LatencyStats(true);
       std::printf("  %-9s %14s %14s %14s %16s %11.0f%%\n", policy,
-                  FormatDuration(result->LatencyQuantile(true, 0.5)).c_str(),
-                  FormatDuration(result->LatencyQuantile(true, 0.9)).c_str(),
-                  FormatDuration(result->LatencyQuantile(true, 0.99)).c_str(),
+                  FormatDuration(small_latencies.Quantile(0.5)).c_str(),
+                  FormatDuration(small_latencies.Quantile(0.9)).c_str(),
+                  FormatDuration(small_latencies.Quantile(0.99)).c_str(),
                   FormatDuration(result->LatencyQuantile(false, 0.5)).c_str(),
                   100 * result->utilization);
     }
@@ -59,9 +60,10 @@ int main() {
     SWIM_CHECK_OK(speculative.status());
     char label[32];
     std::snprintf(label, sizeof(label), "p=%.2f factor=8x", p);
+    stats::SortedStats small_latencies = result->LatencyStats(true);
     std::printf("  %-24s %14s %14s %16s\n", label,
-                FormatDuration(result->LatencyQuantile(true, 0.5)).c_str(),
-                FormatDuration(result->LatencyQuantile(true, 0.99)).c_str(),
+                FormatDuration(small_latencies.Quantile(0.5)).c_str(),
+                FormatDuration(small_latencies.Quantile(0.99)).c_str(),
                 FormatDuration(
                     speculative->LatencyQuantile(true, 0.99)).c_str());
   }

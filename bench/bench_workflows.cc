@@ -49,11 +49,12 @@ int main() {
   std::printf("workflow frameworks: Hive=%zu Pig=%zu Oozie=%zu Native=%zu\n",
               by_framework[0], by_framework[1], by_framework[2],
               by_framework[3]);
+  stats::SortedStats span_stats(std::move(spans));
   std::printf("workflow spans: median=%s p90=%s\n",
-              FormatDuration(stats::Quantile(spans, 0.5)).c_str(),
-              FormatDuration(stats::Quantile(spans, 0.9)).c_str());
+              FormatDuration(span_stats.Quantile(0.5)).c_str(),
+              FormatDuration(span_stats.Quantile(0.9)).c_str());
   std::printf("end-to-end data reduction (out/in): median=%.3g\n",
-              stats::Median(data_reduction));
+              stats::SortedStats(std::move(data_reduction)).Median());
 
   bench::Banner("Dependency-aware replay: scheduling compounds per stage");
   // Interactive workflows compete with batch background load (a CC-b-shaped
@@ -103,9 +104,10 @@ int main() {
     for (const auto& [w, start] : first_submit) {
       latencies.push_back(last_finish[w] - start);
     }
+    stats::SortedStats latency_stats(std::move(latencies));
     std::printf("  %-9s %18s %18s %14zu\n", policy,
-                FormatDuration(stats::Quantile(latencies, 0.5)).c_str(),
-                FormatDuration(stats::Quantile(latencies, 0.9)).c_str(),
+                FormatDuration(latency_stats.Quantile(0.5)).c_str(),
+                FormatDuration(latency_stats.Quantile(0.9)).c_str(),
                 result->unfinished_jobs);
   }
 

@@ -64,12 +64,14 @@ int main() {
   SWIM_CHECK_OK(synth_replay.status());
   std::printf("Replay comparison (what the scheduler experiences):\n");
   std::printf("  %-28s %14s %14s\n", "", "production/src", "test-rig/synth");
+  stats::SortedStats source_latencies = source_replay->LatencyStats(true);
+  stats::SortedStats synth_latencies = synth_replay->LatencyStats(true);
   std::printf("  %-28s %14s %14s\n", "small-job p50 latency",
-              FormatDuration(source_replay->LatencyQuantile(true, 0.5)).c_str(),
-              FormatDuration(synth_replay->LatencyQuantile(true, 0.5)).c_str());
+              FormatDuration(source_latencies.Quantile(0.5)).c_str(),
+              FormatDuration(synth_latencies.Quantile(0.5)).c_str());
   std::printf("  %-28s %14s %14s\n", "small-job p90 latency",
-              FormatDuration(source_replay->LatencyQuantile(true, 0.9)).c_str(),
-              FormatDuration(synth_replay->LatencyQuantile(true, 0.9)).c_str());
+              FormatDuration(source_latencies.Quantile(0.9)).c_str(),
+              FormatDuration(synth_latencies.Quantile(0.9)).c_str());
   std::printf("  %-28s %13.0f%% %13.0f%%\n", "cluster utilization",
               100 * source_replay->utilization,
               100 * synth_replay->utilization);

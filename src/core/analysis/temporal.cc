@@ -34,13 +34,16 @@ BurstinessReport ComputeBurstiness(const trace::Trace& trace) {
 
 SeriesCorrelations ComputeSeriesCorrelations(const trace::Trace& trace) {
   SubmissionSeries series = ComputeSubmissionSeries(trace);
+  // One all-pairs kernel call (Figure 9's shape); each pair runs the same
+  // PearsonCorrelation as before, so the values are bit-identical to the
+  // old three explicit calls.
+  stats::CorrelationMatrix matrix = stats::PearsonMatrix(
+      {series.jobs_per_hour, series.bytes_per_hour,
+       series.task_seconds_per_hour});
   SeriesCorrelations result;
-  result.jobs_bytes = stats::PearsonCorrelation(series.jobs_per_hour,
-                                                series.bytes_per_hour);
-  result.jobs_task_seconds = stats::PearsonCorrelation(
-      series.jobs_per_hour, series.task_seconds_per_hour);
-  result.bytes_task_seconds = stats::PearsonCorrelation(
-      series.bytes_per_hour, series.task_seconds_per_hour);
+  result.jobs_bytes = matrix.at(0, 1);
+  result.jobs_task_seconds = matrix.at(0, 2);
+  result.bytes_task_seconds = matrix.at(1, 2);
   return result;
 }
 

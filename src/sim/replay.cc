@@ -60,12 +60,16 @@ class OccupancyMeter {
 
 }  // namespace
 
-double ReplayResult::LatencyQuantile(bool small_jobs, double p) const {
+stats::SortedStats ReplayResult::LatencyStats(bool small_jobs) const {
   std::vector<double> latencies;
   for (const auto& o : outcomes) {
     if (o.is_small == small_jobs) latencies.push_back(o.latency);
   }
-  return stats::Quantile(std::move(latencies), p);
+  return stats::SortedStats(std::move(latencies));
+}
+
+double ReplayResult::LatencyQuantile(bool small_jobs, double p) const {
+  return LatencyStats(small_jobs).Quantile(p);
 }
 
 double ReplayResult::MeanSlowdown(bool small_jobs) const {

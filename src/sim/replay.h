@@ -8,6 +8,7 @@
 #include "common/flat_hash.h"
 #include "common/statusor.h"
 #include "sim/scheduler.h"
+#include "stats/descriptive.h"
 #include "trace/trace.h"
 
 namespace swim::sim {
@@ -84,7 +85,14 @@ struct ReplayResult {
   /// Busy slot-seconds / (total slots x makespan).
   double utilization = 0.0;
 
-  /// Latency quantile over small or large jobs (p in [0,1]).
+  /// Sort-once latency view over small or large jobs: filter + sort the
+  /// outcomes once, then read any number of quantiles/moments in O(1).
+  /// Callers reporting several percentiles (p50/p90/p99 rows) must use
+  /// this instead of repeated LatencyQuantile calls.
+  stats::SortedStats LatencyStats(bool small_jobs) const;
+
+  /// One-off latency quantile over small or large jobs (p in [0,1]).
+  /// Filters and sorts per call; use LatencyStats for more than one read.
   double LatencyQuantile(bool small_jobs, double p) const;
   double MeanSlowdown(bool small_jobs) const;
   size_t CountJobs(bool small_jobs) const;

@@ -1,27 +1,23 @@
 #include "stats/burstiness.h"
 
-#include <algorithm>
 #include <cmath>
 #include <numbers>
 
-#include "stats/descriptive.h"
-
 namespace swim::stats {
 
-BurstinessProfile::BurstinessProfile(const std::vector<double>& series) {
-  sorted_ = series;
-  std::sort(sorted_.begin(), sorted_.end());
-  median_ = QuantileSorted(sorted_, 0.5);
+BurstinessProfile::BurstinessProfile(const std::vector<double>& series)
+    : stats_(series) {
+  median_ = stats_.Median();
   if (median_ <= 0.0) {
     // A zero median makes every ratio infinite; treat as degenerate.
-    sorted_.clear();
+    stats_ = SortedStats();
     median_ = 0.0;
   }
 }
 
 double BurstinessProfile::RatioAtPercentile(double n) const {
-  if (sorted_.empty()) return 0.0;
-  return QuantileSorted(sorted_, n / 100.0) / median_;
+  if (stats_.empty()) return 0.0;
+  return stats_.Quantile(n / 100.0) / median_;
 }
 
 std::vector<double> BurstinessProfile::Curve() const {

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "stats/descriptive.h"
+
 namespace swim::stats {
 
 /// The paper's burstiness metric (section 5.2): for a time series of
@@ -21,7 +23,7 @@ class BurstinessProfile {
   /// produces an empty profile.
   explicit BurstinessProfile(const std::vector<double>& series);
 
-  bool empty() const { return sorted_.empty(); }
+  bool empty() const { return stats_.empty(); }
 
   /// nth-percentile-to-median ratio, n in [0, 100].
   double RatioAtPercentile(double n) const;
@@ -39,7 +41,7 @@ class BurstinessProfile {
   std::vector<double> Curve() const;
 
  private:
-  std::vector<double> sorted_;
+  SortedStats stats_;  // sort once; every percentile read is O(1)
   double median_ = 0.0;
 };
 

@@ -5,9 +5,9 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace swim::stats {
-namespace {
 
 std::vector<double> FractionalRanks(const std::vector<double>& values) {
   std::vector<size_t> order(values.size());
@@ -30,8 +30,6 @@ std::vector<double> FractionalRanks(const std::vector<double>& values) {
   }
   return ranks;
 }
-
-}  // namespace
 
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
@@ -58,6 +56,69 @@ double SpearmanCorrelation(const std::vector<double>& x,
   SWIM_CHECK_EQ(x.size(), y.size());
   if (x.size() < 2) return 0.0;
   return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
+namespace {
+
+/// All-pairs Pearson over preprocessed columns. Each upper-triangle pair
+/// index maps to fixed (i, j) coordinates independent of the thread count,
+/// and each pair writes only its own two symmetric slots - deterministic
+/// by construction, per the common/parallel.h sharding contract.
+CorrelationMatrix PairwisePearson(const std::vector<std::vector<double>>& cols,
+                                  int threads) {
+  CorrelationMatrix matrix;
+  matrix.dims = cols.size();
+  if (matrix.dims == 0) return matrix;
+  matrix.values.assign(matrix.dims * matrix.dims, 0.0);
+  const size_t d = matrix.dims;
+  for (size_t i = 0; i < d; ++i) {
+    // A constant (or too-short) series correlates 0 with everything,
+    // including itself, matching PearsonCorrelation's degenerate rule.
+    matrix.values[i * d + i] = PearsonCorrelation(cols[i], cols[i]);
+  }
+  const size_t pairs = d * (d - 1) / 2;
+  ParallelFor(
+      0, pairs, /*grain=*/1,
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) {
+          // Unflatten the upper-triangle index: row i is the largest with
+          // i*(2d-i-1)/2 <= p.
+          size_t i = 0;
+          size_t skipped = 0;
+          while (skipped + (d - i - 1) <= p) {
+            skipped += d - i - 1;
+            ++i;
+          }
+          size_t j = i + 1 + (p - skipped);
+          double r = PearsonCorrelation(cols[i], cols[j]);
+          matrix.values[i * d + j] = r;
+          matrix.values[j * d + i] = r;
+        }
+      },
+      threads);
+  return matrix;
+}
+
+}  // namespace
+
+CorrelationMatrix PearsonMatrix(const std::vector<std::vector<double>>& series,
+                                int threads) {
+  return PairwisePearson(series, threads);
+}
+
+CorrelationMatrix SpearmanMatrix(
+    const std::vector<std::vector<double>>& series, int threads) {
+  // Rank each series exactly once (the Spearman preprocessing is the
+  // n log n part; doing it per pair is what made the all-pairs matrix
+  // O(d^2 n log n)). One series per shard; each writes its own slot.
+  std::vector<std::vector<double>> ranks(series.size());
+  ParallelFor(
+      0, series.size(), /*grain=*/1,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) ranks[i] = FractionalRanks(series[i]);
+      },
+      threads);
+  return PairwisePearson(ranks, threads);
 }
 
 }  // namespace swim::stats

@@ -13,10 +13,41 @@ namespace swim::stats {
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y);
 
+/// Fractional ranks of `values` (ties get average ranks, 1-based). This is
+/// the Spearman preprocessing step; compute it once per series when a
+/// series participates in many pairwise correlations.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
 /// Spearman rank correlation (Pearson on fractional ranks; ties get
-/// average ranks).
+/// average ranks). Ranks both inputs per call - for all-pairs work use
+/// SpearmanMatrix, which ranks each series exactly once.
 double SpearmanCorrelation(const std::vector<double>& x,
                            const std::vector<double>& y);
+
+/// Symmetric all-pairs correlation matrix over d series (the Figure 9
+/// shape). Stored dense row-major; diagonal is 1 for non-degenerate
+/// series.
+struct CorrelationMatrix {
+  size_t dims = 0;
+  std::vector<double> values;  // dims x dims, row-major
+
+  double at(size_t i, size_t j) const { return values[i * dims + j]; }
+};
+
+/// All-pairs Pearson matrix. The d*(d-1)/2 upper-triangle pairs are
+/// sharded over common/parallel.h workers; every pair writes only its own
+/// two (symmetric) slots, so the result is byte-identical at any thread
+/// count. `threads` <= 0 defers to SWIM_THREADS / hardware concurrency.
+CorrelationMatrix PearsonMatrix(const std::vector<std::vector<double>>& series,
+                                int threads = 0);
+
+/// All-pairs Spearman matrix. Ranks each series exactly once (O(d n log n)
+/// total) and then correlates rank vectors pairwise (O(d^2 n)), instead of
+/// the O(d^2 n log n) of calling SpearmanCorrelation per pair. Rank and
+/// accumulate loops are sharded like PearsonMatrix; deterministic at any
+/// thread count.
+CorrelationMatrix SpearmanMatrix(
+    const std::vector<std::vector<double>>& series, int threads = 0);
 
 }  // namespace swim::stats
 

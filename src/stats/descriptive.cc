@@ -74,23 +74,49 @@ double GeometricMean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(count));
 }
 
-Summary Summarize(const std::vector<double>& values) {
+SortedStats::SortedStats(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  // One pass for all moments: plain sum (so Mean matches the free-function
+  // Sum/size exactly) plus Welford's update for the squared deviations.
+  double welford_mean = 0.0;
+  size_t n = 0;
+  for (double v : sorted_) {
+    sum_ += v;
+    ++n;
+    double delta = v - welford_mean;
+    welford_mean += delta / static_cast<double>(n);
+    m2_ += delta * (v - welford_mean);
+  }
+  if (n > 0) mean_ = sum_ / static_cast<double>(n);
+}
+
+double SortedStats::Variance() const {
+  if (sorted_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(sorted_.size() - 1);
+}
+
+double SortedStats::StdDev() const { return std::sqrt(Variance()); }
+
+Summary SortedStats::ToSummary() const {
   Summary summary;
-  summary.count = values.size();
-  if (values.empty()) return summary;
-  std::vector<double> sorted = values;
-  std::sort(sorted.begin(), sorted.end());
-  summary.mean = Mean(values);
-  summary.stddev = StdDev(values);
-  summary.min = sorted.front();
-  summary.p25 = QuantileSorted(sorted, 0.25);
-  summary.median = QuantileSorted(sorted, 0.5);
-  summary.p75 = QuantileSorted(sorted, 0.75);
-  summary.p90 = QuantileSorted(sorted, 0.90);
-  summary.p99 = QuantileSorted(sorted, 0.99);
-  summary.max = sorted.back();
-  summary.sum = Sum(values);
+  summary.count = sorted_.size();
+  if (sorted_.empty()) return summary;
+  summary.mean = mean_;
+  summary.stddev = StdDev();
+  summary.min = sorted_.front();
+  summary.p25 = Quantile(0.25);
+  summary.median = Quantile(0.5);
+  summary.p75 = Quantile(0.75);
+  summary.p90 = Quantile(0.90);
+  summary.p99 = Quantile(0.99);
+  summary.max = sorted_.back();
+  summary.sum = sum_;
   return summary;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  return SortedStats(values).ToSummary();
 }
 
 }  // namespace swim::stats

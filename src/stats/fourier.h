@@ -1,6 +1,7 @@
 #ifndef SWIM_STATS_FOURIER_H_
 #define SWIM_STATS_FOURIER_H_
 
+#include <complex>
 #include <cstddef>
 #include <vector>
 
@@ -13,11 +14,25 @@ struct SpectralPeak {
   double power_fraction = 0.0;  // share of total non-DC power
 };
 
-/// Discrete-Fourier-transform periodogram of a real series (mean removed).
-/// Returns power at each frequency k = 1 .. n/2, as (period, power) pairs.
-/// O(n^2) direct evaluation - series here are hourly counts over days or
-/// months, so n is small.
+/// In-place forward FFT (sign convention e^{-2*pi*i*k*t/n}, no scaling) of
+/// an arbitrary-length complex sequence. Power-of-two lengths run the
+/// iterative radix-2 Cooley-Tukey kernel directly; other lengths go through
+/// Bluestein's chirp-z reduction to a power-of-two convolution, so every
+/// length is O(n log n).
+void Fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (scaled by 1/n), any length.
+void InverseFft(std::vector<std::complex<double>>& data);
+
+/// FFT-based periodogram of a real series (mean removed). Returns power at
+/// each frequency k = 1 .. n/2, as (period, power) pairs. O(n log n) at any
+/// length, so minute-granularity multi-month series (n ~ 64k+) are cheap.
 std::vector<SpectralPeak> Periodogram(const std::vector<double>& series);
+
+/// O(n^2) direct-evaluation reference periodogram (the pre-FFT kernel).
+/// Kept as the golden oracle for tests and the bench_stats baseline; do not
+/// call on hot paths.
+std::vector<SpectralPeak> NaivePeriodogram(const std::vector<double>& series);
 
 /// Detects periodicity the way the paper does for Figure 7 ("some workloads
 /// exhibit daily diurnal patterns, revealed by Fourier analysis"): returns

@@ -15,25 +15,62 @@ std::vector<double> Resample(const std::vector<double>& values, size_t count,
   return result;
 }
 
-DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+AliasTable::AliasTable(const std::vector<double>& weights) {
   SWIM_CHECK(!weights.empty());
-  cumulative_.resize(weights.size());
+  const size_t n = weights.size();
+  SWIM_CHECK_LE(n, static_cast<size_t>(UINT32_MAX));
   double total = 0.0;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    SWIM_CHECK_GE(weights[i], 0.0);
-    total += weights[i];
-    cumulative_[i] = total;
+  for (double w : weights) {
+    SWIM_CHECK_GE(w, 0.0);
+    total += w;
   }
   SWIM_CHECK_GT(total, 0.0);
-  for (double& c : cumulative_) c /= total;
-  cumulative_.back() = 1.0;
-}
 
-size_t DiscreteSampler::Sample(Pcg32& rng) const {
-  double u = rng.NextDouble();
-  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-  if (it == cumulative_.end()) return cumulative_.size() - 1;
-  return static_cast<size_t>(it - cumulative_.begin());
+  // Vose's method: scale each weight so the average column mass is 1, then
+  // repeatedly top up an underfull ("small") column from an overfull
+  // ("large") one. Worklists are filled and drained in ascending index
+  // order - construction is pure arithmetic, so the table is deterministic.
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (rounding residue) have mass ~1: accept unconditionally.
+  // A zero-weight entry can never land here - it enters the small list
+  // with mass exactly 0, is paired with a large column above, and keeps
+  // prob_ == 0, so Sample always redirects it to its alias.
+  for (uint32_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (uint32_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
 }
 
 }  // namespace swim::stats

@@ -2,6 +2,7 @@
 #define SWIM_STATS_SAMPLING_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/logging.h"
@@ -52,20 +53,55 @@ void Shuffle(std::vector<T>& items, Pcg32& rng) {
 std::vector<double> Resample(const std::vector<double>& values, size_t count,
                              Pcg32& rng);
 
-/// Samples indices proportionally to fixed non-negative weights in
-/// O(log n) per draw via a precomputed cumulative table. Use this instead
-/// of Pcg32::NextDiscrete (O(n) per draw) when drawing many times from the
+/// Walker/Vose alias table: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution. Each draw consumes exactly one uniform deviate
+/// (the integer part picks a column, the fractional part flips the biased
+/// coin), so RNG stream consumption is identical to one cumulative-table
+/// probe and sample streams stay deterministic in (weights, seed).
+/// Construction is deterministic: the small/large worklists are filled in
+/// index order, so the table - and therefore every sample stream - is
+/// identical across platforms and runs.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Weights must be non-empty, non-negative, with a positive sum.
+  /// Zero-weight entries are never returned by Sample.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  size_t Sample(Pcg32& rng) const {
+    const double scaled = rng.NextDouble() * static_cast<double>(prob_.size());
+    size_t column = static_cast<size_t>(scaled);
+    if (column >= prob_.size()) column = prob_.size() - 1;
+    return (scaled - static_cast<double>(column)) < prob_[column]
+               ? column
+               : alias_[column];
+  }
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;     // acceptance threshold per column
+  std::vector<uint32_t> alias_;  // fallback index per column
+};
+
+/// Samples indices proportionally to fixed non-negative weights in O(1)
+/// per draw via a Walker/Vose alias table (O(n) once at construction).
+/// This is the inner loop of the synthesizer and trace generator when
+/// emitting millions of jobs; use it instead of Pcg32::NextDiscrete
+/// (O(n) per draw) whenever drawing more than a handful of times from the
 /// same weights.
 class DiscreteSampler {
  public:
   /// Weights must be non-empty, non-negative, with a positive sum.
-  explicit DiscreteSampler(const std::vector<double>& weights);
+  explicit DiscreteSampler(const std::vector<double>& weights)
+      : table_(weights) {}
 
-  size_t Sample(Pcg32& rng) const;
-  size_t size() const { return cumulative_.size(); }
+  size_t Sample(Pcg32& rng) const { return table_.Sample(rng); }
+  size_t size() const { return table_.size(); }
 
  private:
-  std::vector<double> cumulative_;  // normalized, back() == 1
+  AliasTable table_;
 };
 
 }  // namespace swim::stats

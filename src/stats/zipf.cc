@@ -46,27 +46,19 @@ ZipfFitResult FitZipf(const std::vector<double>& frequencies) {
 ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
   SWIM_CHECK_GE(n, 1u);
   SWIM_CHECK_GE(s, 0.0);
-  cumulative_.resize(n);
+  pmf_.resize(n);
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    total += std::pow(static_cast<double>(i + 1), -s);
-    cumulative_[i] = total;
+    pmf_[i] = std::pow(static_cast<double>(i + 1), -s);
+    total += pmf_[i];
   }
-  for (double& c : cumulative_) c /= total;
-  cumulative_.back() = 1.0;
-}
-
-size_t ZipfSampler::Sample(Pcg32& rng) const {
-  double u = rng.NextDouble();
-  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-  if (it == cumulative_.end()) return cumulative_.size() - 1;
-  return static_cast<size_t>(it - cumulative_.begin());
+  for (double& p : pmf_) p /= total;
+  table_ = AliasTable(pmf_);
 }
 
 double ZipfSampler::Pmf(size_t i) const {
-  SWIM_CHECK_LT(i, cumulative_.size());
-  if (i == 0) return cumulative_[0];
-  return cumulative_[i] - cumulative_[i - 1];
+  SWIM_CHECK_LT(i, pmf_.size());
+  return pmf_[i];
 }
 
 }  // namespace swim::stats

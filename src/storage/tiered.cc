@@ -63,8 +63,11 @@ StatusOr<TieredStats> SimulateTieredReads(
     latencies.push_back(served_time);
     disk_latencies.push_back(disk_time);
   }
-  stats.median_latency_seconds = stats::Median(latencies);
-  stats.median_disk_latency_seconds = stats::Median(disk_latencies);
+  // SortedStats consumes the vectors in place - no per-call copy+sort.
+  stats.median_latency_seconds =
+      stats::SortedStats(std::move(latencies)).Median();
+  stats.median_disk_latency_seconds =
+      stats::SortedStats(std::move(disk_latencies)).Median();
   stats.cache = memory_tier->stats();
   return stats;
 }

@@ -22,7 +22,7 @@ TraceSummary Summarize(const Trace& trace) {
     if (job.IsMapOnly()) ++summary.map_only_jobs;
     durations.push_back(job.duration);
   }
-  summary.median_duration = stats::Median(durations);
+  summary.median_duration = stats::SortedStats(std::move(durations)).Median();
   return summary;
 }
 

@@ -1,7 +1,9 @@
 #include <cmath>
+#include <complex>
 #include <numbers>
 #include <vector>
 
+#include "common/random.h"
 #include "gtest/gtest.h"
 #include "stats/burstiness.h"
 #include "stats/fourier.h"
@@ -16,6 +18,15 @@ std::vector<double> Sinusoid(size_t n, double period, double offset = 10.0,
     series[t] = offset + amplitude * std::sin(2.0 * std::numbers::pi *
                                               static_cast<double>(t) / period);
   }
+  return series;
+}
+
+// Diurnal-ish signal plus deterministic noise, so the spectrum has power at
+// every frequency (a harsher golden test than a pure tone).
+std::vector<double> NoisySeries(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<double> series = Sinusoid(n, 24.0, 5.0, 2.0);
+  for (double& v : series) v += rng.NextDouble(-0.5, 0.5);
   return series;
 }
 
@@ -58,6 +69,66 @@ TEST(FourierTest, PowerFractionsSumToOne) {
   double total = 0.0;
   for (const auto& peak : Periodogram(series)) total += peak.power_fraction;
   EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Golden test: the FFT periodogram must agree with the O(n^2) direct DFT it
+// replaced to within 1e-9 relative power at every spectral line.
+void ExpectMatchesNaive(const std::vector<double>& series) {
+  auto fast = Periodogram(series);
+  auto naive = NaivePeriodogram(series);
+  ASSERT_EQ(fast.size(), naive.size());
+  double total = 0.0;
+  for (const auto& peak : naive) total += peak.power;
+  const double tolerance = 1e-9 * std::max(total, 1.0);
+  for (size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_DOUBLE_EQ(fast[k].period, naive[k].period);
+    EXPECT_NEAR(fast[k].power, naive[k].power, tolerance);
+    EXPECT_NEAR(fast[k].power_fraction, naive[k].power_fraction, 1e-9);
+  }
+}
+
+TEST(FourierTest, FftPeriodogramMatchesNaiveDft) {
+  // Power-of-two (radix-2 path), prime (Bluestein path), short, and the
+  // week-of-hours composite length the analysis pipeline actually uses.
+  for (size_t n : {8, 64, 97, 168, 251, 256}) {
+    SCOPED_TRACE(n);
+    ExpectMatchesNaive(NoisySeries(n, 17 + n));
+  }
+}
+
+TEST(FourierTest, FftInverseRoundtrip) {
+  for (size_t n : {16, 100, 127}) {
+    SCOPED_TRACE(n);
+    Pcg32 rng(n);
+    std::vector<std::complex<double>> data(n);
+    for (auto& c : data) {
+      c = {rng.NextDouble(-1.0, 1.0), rng.NextDouble(-1.0, 1.0)};
+    }
+    auto original = data;
+    Fft(data);
+    InverseFft(data);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+      EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+    }
+  }
+}
+
+TEST(FourierTest, FftSingleToneConcentratesPower) {
+  // A pure complex exponential at bin 5 of a power-of-two transform must
+  // land all its energy in exactly that bin.
+  const size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (size_t t = 0; t < n; ++t) {
+    double angle = 2.0 * std::numbers::pi * 5.0 * static_cast<double>(t) /
+                   static_cast<double>(n);
+    data[t] = std::polar(1.0, angle);
+  }
+  Fft(data);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(data[k]), k == 5 ? static_cast<double>(n) : 0.0,
+                1e-9);
+  }
 }
 
 // --- Burstiness ------------------------------------------------------------

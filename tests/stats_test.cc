@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -64,6 +65,51 @@ TEST(DescriptiveTest, SummaryFields) {
   EXPECT_NEAR(s.median, 50.5, 1e-9);
   EXPECT_NEAR(s.p90, 90.1, 0.2);
   EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+}
+
+// --- SortedStats ------------------------------------------------------------
+
+TEST(SortedStatsTest, MatchesFreeFunctions) {
+  Pcg32 rng(51);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.NextLognormal(5, 2));
+  SortedStats stats(v);
+  // Moments accumulate over the sorted order, so allow an ulp-scale
+  // difference against the original-order free functions.
+  EXPECT_NEAR(stats.Mean(), Mean(v), 1e-12 * std::abs(Mean(v)));
+  EXPECT_NEAR(stats.Sum(), Sum(v), 1e-12 * std::abs(Sum(v)));
+  EXPECT_NEAR(stats.Variance(), Variance(v), 1e-9 * Variance(v));
+  EXPECT_NEAR(stats.StdDev(), StdDev(v), 1e-9 * StdDev(v));
+  EXPECT_DOUBLE_EQ(stats.Min(), Min(v));
+  EXPECT_DOUBLE_EQ(stats.Max(), Max(v));
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(stats.Quantile(p), Quantile(v, p));
+  }
+  EXPECT_DOUBLE_EQ(stats.Median(), Median(v));
+}
+
+TEST(SortedStatsTest, EmptyIsAllZero) {
+  SortedStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.Quantile(0.5), 0.0);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.Min(), 0.0);
+  EXPECT_EQ(stats.Max(), 0.0);
+  EXPECT_EQ(stats.ToSummary().count, 0u);
+}
+
+TEST(SortedStatsTest, SummaryMatchesSummarize) {
+  std::vector<double> v = {9, 1, 4, 7, 2, 8, 3, 6, 5, 10};
+  Summary from_class = SortedStats(v).ToSummary();
+  Summary from_free = Summarize(v);
+  EXPECT_EQ(from_class.count, from_free.count);
+  EXPECT_DOUBLE_EQ(from_class.mean, from_free.mean);
+  EXPECT_DOUBLE_EQ(from_class.stddev, from_free.stddev);
+  EXPECT_DOUBLE_EQ(from_class.median, from_free.median);
+  EXPECT_DOUBLE_EQ(from_class.p90, from_free.p90);
+  EXPECT_DOUBLE_EQ(from_class.sum, from_free.sum);
 }
 
 // --- EmpiricalCdf ----------------------------------------------------------
@@ -258,6 +304,50 @@ TEST(CorrelationTest, SpearmanTiesGetAverageRanks) {
   EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
 }
 
+std::vector<std::vector<double>> CorrelatedSeries(size_t dims, size_t n) {
+  Pcg32 rng(67);
+  std::vector<std::vector<double>> series(dims, std::vector<double>(n));
+  for (size_t t = 0; t < n; ++t) {
+    double shared = rng.NextGaussian();
+    for (size_t d = 0; d < dims; ++d) {
+      series[d][t] = shared * static_cast<double>(d + 1) + rng.NextGaussian();
+    }
+  }
+  return series;
+}
+
+TEST(CorrelationTest, PearsonMatrixMatchesPairwiseCalls) {
+  auto series = CorrelatedSeries(4, 200);
+  CorrelationMatrix m = PearsonMatrix(series);
+  ASSERT_EQ(m.dims, 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(m.at(i, i), 1.0, 1e-12);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+      EXPECT_DOUBLE_EQ(m.at(i, j), PearsonCorrelation(series[i], series[j]));
+    }
+  }
+}
+
+TEST(CorrelationTest, SpearmanMatrixMatchesPairwiseCalls) {
+  auto series = CorrelatedSeries(5, 150);
+  CorrelationMatrix m = SpearmanMatrix(series);
+  ASSERT_EQ(m.dims, 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(m.at(i, j), SpearmanCorrelation(series[i], series[j]),
+                  1e-12);
+    }
+  }
+}
+
+TEST(CorrelationTest, MatricesAreByteIdenticalAcrossThreadCounts) {
+  auto series = CorrelatedSeries(6, 300);
+  EXPECT_EQ(PearsonMatrix(series, 1).values, PearsonMatrix(series, 8).values);
+  EXPECT_EQ(SpearmanMatrix(series, 1).values,
+            SpearmanMatrix(series, 8).values);
+}
+
 // --- Sampling --------------------------------------------------------------------
 
 TEST(ReservoirSamplerTest, KeepsAllWhenUnderCapacity) {
@@ -307,6 +397,88 @@ TEST(DiscreteSamplerTest, MatchesWeights) {
   EXPECT_EQ(counts[2], 0);
   EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
   EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+// Cumulative-table inverse-CDF sampler: the O(log n)-per-draw reference the
+// alias table replaced. Consumes one uniform deviate per draw, like
+// AliasTable::Sample.
+size_t CumulativeSearchSample(const std::vector<double>& cumulative,
+                              Pcg32& rng) {
+  double u = rng.NextDouble() * cumulative.back();
+  size_t i = static_cast<size_t>(
+      std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+      cumulative.begin());
+  return std::min(i, cumulative.size() - 1);
+}
+
+// Chi-squared property test: under a fixed seed, both the alias table and
+// the cumulative-search reference must match the target pmf. 400k draws
+// over 32 Zipf-shaped bins; the 99.9th percentile of chi2(df=31) is ~61.1,
+// so 70 gives comfortable slack while still catching any systematic bias
+// (e.g. an off-by-one in the alias construction shifts chi2 into the
+// thousands).
+TEST(AliasTableTest, ChiSquaredMatchesCumulativeSearchReference) {
+  std::vector<double> weights;
+  double total = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    weights.push_back(std::pow(static_cast<double>(i + 1), -0.83));
+    total += weights.back();
+  }
+  std::vector<double> cumulative;
+  double running = 0.0;
+  for (double w : weights) cumulative.push_back(running += w);
+
+  const int n = 400000;
+  AliasTable table(weights);
+  std::vector<double> alias_counts(weights.size(), 0.0);
+  std::vector<double> search_counts(weights.size(), 0.0);
+  Pcg32 alias_rng(61);
+  Pcg32 search_rng(61);
+  for (int i = 0; i < n; ++i) {
+    alias_counts[table.Sample(alias_rng)] += 1.0;
+    search_counts[CumulativeSearchSample(cumulative, search_rng)] += 1.0;
+  }
+
+  auto chi_squared = [&](const std::vector<double>& counts) {
+    double chi2 = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      double expected = n * weights[i] / total;
+      chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+    }
+    return chi2;
+  };
+  EXPECT_LT(chi_squared(alias_counts), 70.0);
+  EXPECT_LT(chi_squared(search_counts), 70.0);
+}
+
+TEST(AliasTableTest, DeterministicAcrossInstances) {
+  // Same weights + same seed => identical sample stream, run to run.
+  std::vector<double> weights = {0.2, 5.0, 1.0, 3.7, 0.0, 2.2};
+  AliasTable a(weights);
+  AliasTable b(weights);
+  Pcg32 rng_a(7);
+  Pcg32 rng_b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Sample(rng_a), b.Sample(rng_b));
+  }
+}
+
+TEST(AliasTableTest, ConsumesExactlyOneDeviatePerDraw) {
+  // The determinism contract: each Sample advances the RNG by exactly one
+  // NextDouble, so alias-table consumers stay stream-compatible with a
+  // single cumulative probe.
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  Pcg32 sampled(11);
+  Pcg32 advanced(11);
+  for (int i = 0; i < 100; ++i) table.Sample(sampled);
+  for (int i = 0; i < 100; ++i) advanced.NextDouble();
+  EXPECT_EQ(sampled(), advanced());
+}
+
+TEST(AliasTableTest, SingleColumnAlwaysReturnsZero) {
+  AliasTable table({42.0});
+  Pcg32 rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
 }
 
 }  // namespace

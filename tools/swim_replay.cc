@@ -57,11 +57,13 @@ int main(int argc, char** argv) {
               100 * result->utilization);
   for (bool small : {true, false}) {
     if (result->CountJobs(small) == 0) continue;
+    // One filter + sort per tier; the three quantile reads are O(1).
+    stats::SortedStats latencies = result->LatencyStats(small);
     std::printf("  %s jobs (%zu): p50=%s p90=%s p99=%s mean slowdown=%.1fx\n",
                 small ? "small" : "large", result->CountJobs(small),
-                FormatDuration(result->LatencyQuantile(small, 0.5)).c_str(),
-                FormatDuration(result->LatencyQuantile(small, 0.9)).c_str(),
-                FormatDuration(result->LatencyQuantile(small, 0.99)).c_str(),
+                FormatDuration(latencies.Quantile(0.5)).c_str(),
+                FormatDuration(latencies.Quantile(0.9)).c_str(),
+                FormatDuration(latencies.Quantile(0.99)).c_str(),
                 result->MeanSlowdown(small));
   }
   double peak = 0;
