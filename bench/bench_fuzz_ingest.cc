@@ -1,0 +1,150 @@
+// bench_fuzz_ingest: CI corpus driver for the trace-parser fuzzer.
+//
+//   bench_fuzz_ingest [--iterations N] [--seed S]
+//
+// Runs the deterministic CsvMutator against TraceFromCsv in all three
+// parse modes for N iterations and enforces the parser contracts (never
+// crash, report counts exact, accepted rows valid, repair >= skip). Any
+// violation prints the reproducing (seed, iteration) pair and exits
+// non-zero. The CI fuzz-smoke step runs this under ASan/UBSan; the gtest
+// twin (trace_fuzz_test) runs a short version in every test pass.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/csv_mutator.h"
+#include "trace/job_record.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace swim;
+
+/// Same corpus shape as trace_fuzz_test, scaled up: quoted commas,
+/// embedded newlines, escaped quotes, empty optionals, map-only jobs.
+std::string BaseCorpus() {
+  trace::Trace t;
+  t.mutable_metadata().name = "FUZZ-CI";
+  t.mutable_metadata().machines = 600;
+  t.mutable_metadata().year = 2010;
+  for (uint64_t id = 1; id <= 200; ++id) {
+    trace::JobRecord job;
+    job.job_id = id;
+    switch (id % 4) {
+      case 0: job.name = "pipeline,stage " + std::to_string(id); break;
+      case 1: job.name = "ad hoc \"select\""; break;
+      case 2: job.name = "line1\nline2"; break;
+      default: job.name = ""; break;
+    }
+    job.submit_time = static_cast<double>(id);
+    job.duration = 30.0;
+    job.input_bytes = 1e6 * static_cast<double>(id % 17 + 1);
+    job.shuffle_bytes = id % 3 == 0 ? 0.0 : 5e5;
+    job.output_bytes = 1e5;
+    job.map_tasks = 1 + static_cast<int64_t>(id % 9);
+    job.reduce_tasks = id % 3 == 0 ? 0 : 1;
+    job.map_task_seconds = 40.0;
+    job.reduce_task_seconds = id % 3 == 0 ? 0.0 : 10.0;
+    job.input_path = "hdfs://warehouse/t" + std::to_string(id % 7) +
+                     (id % 4 == 0 ? ",part=0" : "");
+    job.output_path = id % 5 == 0 ? "" : "out/" + std::to_string(id);
+    t.AddJob(std::move(job));
+  }
+  return trace::TraceToCsv(t);
+}
+
+[[noreturn]] void Fail(uint64_t seed, uint64_t iteration, const char* what) {
+  std::fprintf(stderr,
+               "FUZZ FAILURE: %s (reproduce: --seed %llu, iteration %llu)\n",
+               what, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(iteration));
+  std::exit(1);
+}
+
+bool ReportHolds(const trace::ParseReport& report, const trace::Trace& t) {
+  if (report.accepted != t.size()) return false;
+  if (report.total_rows != report.accepted + report.skipped) return false;
+  size_t categorized = 0;
+  for (size_t count : report.error_counts) categorized += count;
+  if (categorized != report.flagged()) return false;
+  if (report.diagnostics.size() + report.dropped_diagnostics !=
+      report.flagged()) {
+    return false;
+  }
+  for (const trace::JobRecord& job : t.jobs()) {
+    if (!trace::ValidateJobRecord(job).empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iterations = 100000;
+  uint64_t seed = 2012;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    if (flag == "--iterations") {
+      iterations = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (flag == "--seed") {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  const std::string base = BaseCorpus();
+  const trace::CsvMutator mutator(seed);
+  uint64_t strict_ok = 0, skip_rows = 0, repair_rows = 0;
+  for (uint64_t iteration = 0; iteration < iterations; ++iteration) {
+    const std::string mutated = mutator.Mutate(base, iteration);
+
+    trace::ParseReport strict_report;
+    auto strict = trace::TraceFromCsv(
+        mutated, {trace::ParseMode::kStrict, 64, 0}, &strict_report);
+    if (strict.ok()) {
+      ++strict_ok;
+      if (!strict_report.clean()) Fail(seed, iteration, "strict not clean");
+    }
+
+    trace::ParseReport skip_report;
+    auto skipped = trace::TraceFromCsv(
+        mutated, {trace::ParseMode::kSkip, 64, 0}, &skip_report);
+    if (skipped.ok()) {
+      if (!ReportHolds(skip_report, *skipped)) {
+        Fail(seed, iteration, "skip report contract violated");
+      }
+      skip_rows += skipped->size();
+    } else if (strict.ok()) {
+      Fail(seed, iteration, "skip failed where strict succeeded");
+    }
+
+    trace::ParseReport repair_report;
+    auto repaired = trace::TraceFromCsv(
+        mutated, {trace::ParseMode::kRepair, 64, 0}, &repair_report);
+    if (repaired.ok() != skipped.ok()) {
+      Fail(seed, iteration, "repair/skip disagree on whole-file validity");
+    }
+    if (repaired.ok()) {
+      if (!ReportHolds(repair_report, *repaired)) {
+        Fail(seed, iteration, "repair report contract violated");
+      }
+      if (repaired->size() < skipped->size()) {
+        Fail(seed, iteration, "repair kept fewer rows than skip");
+      }
+      repair_rows += repaired->size();
+    }
+  }
+
+  std::printf(
+      "fuzzed %llu mutated traces (seed %llu): %llu parsed strictly, "
+      "%.1f rows/iter survived skip, %.1f rows/iter survived repair\n",
+      static_cast<unsigned long long>(iterations),
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(strict_ok),
+      static_cast<double>(skip_rows) / static_cast<double>(iterations),
+      static_cast<double>(repair_rows) / static_cast<double>(iterations));
+  return 0;
+}

@@ -17,10 +17,21 @@ namespace {
 struct Event {
   double time = 0.0;
   uint64_t seq = 0;  // FIFO tie-break for simultaneous events
-  enum class Kind { kArrival, kTasksDone } kind = Kind::kArrival;
+  enum class Kind {
+    kArrival,
+    kTasksDone,
+    kTasksFailed,  // attempts dying mid-flight (probability failures)
+    kNodeLoss,     // whole-node loss; self-reschedules while work remains
+    kWake,         // retry backoff expired; re-enter the grant loop
+  } kind = Kind::kArrival;
   size_t job_index = 0;
   TaskKind task_kind = TaskKind::kMap;
   int64_t count = 0;
+  /// Attempt level the batch was launched at (failure bookkeeping).
+  int attempt = 1;
+  /// Slot-seconds one task of the batch occupies until this event fires -
+  /// the waste charged per task if the attempt dies instead of completing.
+  double unit_seconds = 0.0;
 };
 
 struct EventAfter {
@@ -57,6 +68,29 @@ class OccupancyMeter {
   double last_time_ = 0.0;
   double busy_slot_seconds_ = 0.0;
 };
+
+Status ValidateFailureOptions(const FailureOptions& failures) {
+  if (failures.task_failure_probability < 0.0 ||
+      failures.task_failure_probability > 1.0 ||
+      !std::isfinite(failures.task_failure_probability)) {
+    return InvalidArgumentError("task_failure_probability must be in [0, 1]");
+  }
+  if (!(failures.failure_point > 0.0) || failures.failure_point > 1.0) {
+    return InvalidArgumentError("failure_point must be in (0, 1]");
+  }
+  if (failures.node_loss_per_hour < 0.0 ||
+      !std::isfinite(failures.node_loss_per_hour)) {
+    return InvalidArgumentError("node_loss_per_hour must be >= 0");
+  }
+  if (failures.max_attempts < 1) {
+    return InvalidArgumentError("max_attempts must be >= 1");
+  }
+  if (failures.retry_backoff_seconds < 0.0 ||
+      !std::isfinite(failures.retry_backoff_seconds)) {
+    return InvalidArgumentError("retry_backoff_seconds must be >= 0");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -102,8 +136,18 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
   if (options.max_tasks_per_job < 1) {
     return InvalidArgumentError("max_tasks_per_job must be >= 1");
   }
+  Status failure_status = ValidateFailureOptions(options.failures);
+  if (!failure_status.ok()) return failure_status;
+  const FailureOptions& failures = options.failures;
+
   std::unique_ptr<Scheduler> scheduler = MakeScheduler(options.scheduler);
   Pcg32 rng(options.seed, /*stream=*/0x51e9);
+  // Dedicated streams for the failure model: enabling/disabling failure
+  // injection must not perturb the straggler draws (and with the model
+  // disabled these are never consulted, keeping output bit-identical to
+  // pre-failure-model replays).
+  Pcg32 failure_rng(options.seed, /*stream=*/0xfa11);
+  Pcg32 loss_rng(options.seed, /*stream=*/0x10e5);
 
   // Build the job table (trace.jobs() is submit-sorted).
   std::vector<SimJob> jobs;
@@ -159,7 +203,7 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
   uint64_t seq = 0;
   for (size_t i = 0; i < jobs.size(); ++i) {
     queue.push(Event{jobs[i].submit_time, seq++, Event::Kind::kArrival, i,
-                     TaskKind::kMap, 0});
+                     TaskKind::kMap, 0, 1, 0.0});
   }
 
   const int64_t total_map_slots = options.cluster.total_map_slots();
@@ -174,38 +218,84 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
   ReplayResult result;
   result.scheduler = scheduler->name();
 
-  // Launches `count` tasks of one kind as at most two events (regular +
-  // straggling portions).
+  double first_submit = jobs.front().submit_time;
+  const double loss_rate_per_second = failures.node_loss_per_hour / 3600.0;
+  if (loss_rate_per_second > 0.0) {
+    queue.push(Event{
+        first_submit + loss_rng.NextExponential(loss_rate_per_second), seq++,
+        Event::Kind::kNodeLoss, 0, TaskKind::kMap, 0, 1, 0.0});
+  }
+
+  // Launches `count` tasks of one kind as at most three events: a failing
+  // portion (dies at failure_point of the duration), plus regular and
+  // straggling completions of the survivors.
   auto launch_batch = [&](size_t job_index, TaskKind kind, double now,
                           int64_t count) {
     SimJob& job = jobs[job_index];
     double duration;
+    int attempt;
     if (kind == TaskKind::kMap) {
       job.maps_launched += count;
       free_map_slots -= count;
       if (!job.is_small) context.large_running_maps += count;
       duration = job.map_task_duration;
+      attempt = job.map_attempt;
     } else {
       job.reduces_launched += count;
       free_reduce_slots -= count;
       if (!job.is_small) context.large_running_reduces += count;
       duration = job.reduce_task_duration;
+      attempt = job.reduce_attempt;
     }
-    int64_t stragglers = 0;
-    if (options.straggler_probability > 0.0) {
+    int64_t& debt = kind == TaskKind::kMap ? job.map_relaunch_debt
+                                           : job.reduce_relaunch_debt;
+    int64_t relaunched = std::min(debt, count);
+    if (relaunched > 0) {
+      debt -= relaunched;
+      job.retries += relaunched;
+      result.failures.retries += relaunched;
+    }
+    if (job.first_launch_time < 0.0) job.first_launch_time = now;
+
+    // Failure split first: an attempt that dies never straggles. Small
+    // batches draw per task; large batches use the deterministic expected
+    // count (same scheme the straggler model uses).
+    int64_t failing = 0;
+    if (failures.task_failure_probability > 0.0) {
       if (count <= 16) {
         for (int64_t t = 0; t < count; ++t) {
+          if (failure_rng.NextBernoulli(failures.task_failure_probability)) {
+            ++failing;
+          }
+        }
+      } else {
+        failing = static_cast<int64_t>(std::llround(
+            static_cast<double>(count) * failures.task_failure_probability));
+      }
+    }
+    if (failing > 0) {
+      double waste = duration * failures.failure_point;
+      queue.push(Event{now + waste, seq++, Event::Kind::kTasksFailed,
+                       job_index, kind, failing, attempt, waste});
+    }
+    const int64_t surviving = count - failing;
+    if (surviving <= 0) return;
+
+    int64_t stragglers = 0;
+    if (options.straggler_probability > 0.0) {
+      if (surviving <= 16) {
+        for (int64_t t = 0; t < surviving; ++t) {
           if (rng.NextBernoulli(options.straggler_probability)) ++stragglers;
         }
       } else {
         stragglers = static_cast<int64_t>(std::llround(
-            static_cast<double>(count) * options.straggler_probability));
+            static_cast<double>(surviving) * options.straggler_probability));
       }
     }
-    if (job.first_launch_time < 0.0) job.first_launch_time = now;
-    if (count - stragglers > 0) {
+    if (surviving - stragglers > 0) {
       queue.push(Event{now + duration, seq++, Event::Kind::kTasksDone,
-                       job_index, kind, count - stragglers});
+                       job_index, kind, surviving - stragglers, attempt,
+                       duration});
     }
     if (stragglers > 0) {
       double effective_factor = options.straggler_factor;
@@ -217,7 +307,39 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
         effective_factor = std::min(effective_factor, 2.0);
       }
       queue.push(Event{now + duration * effective_factor, seq++,
-                       Event::Kind::kTasksDone, job_index, kind, stragglers});
+                       Event::Kind::kTasksDone, job_index, kind, stragglers,
+                       attempt, duration * effective_factor});
+    }
+  };
+
+  // A batch of `count` tasks failed at `attempt`: either the job's attempt
+  // budget is exhausted (kill the job, Hadoop-style) or the tasks rejoin
+  // the unlaunched pool at the next attempt level after a linear backoff.
+  auto handle_attempt_failure = [&](size_t job_index, TaskKind kind,
+                                    int attempt, int64_t count, double now) {
+    SimJob& job = jobs[job_index];
+    if (job.failed) return;
+    if (attempt >= failures.max_attempts) {
+      job.failed = true;
+      ++result.failures.failed_jobs;
+      auto it = std::find(active.begin(), active.end(), job_index);
+      if (it != active.end()) active.erase(it);
+      return;
+    }
+    int next_attempt = attempt + 1;
+    if (kind == TaskKind::kMap) {
+      job.map_attempt = std::max(job.map_attempt, next_attempt);
+      job.map_relaunch_debt += count;
+    } else {
+      job.reduce_attempt = std::max(job.reduce_attempt, next_attempt);
+      job.reduce_relaunch_debt += count;
+    }
+    double ready =
+        now + failures.retry_backoff_seconds * static_cast<double>(attempt);
+    if (ready > job.retry_ready_time) job.retry_ready_time = ready;
+    if (ready > now) {
+      queue.push(Event{ready, seq++, Event::Kind::kWake, job_index, kind, 0,
+                       1, 0.0});
     }
   };
 
@@ -230,7 +352,12 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
     if (free_slots <= 0) return false;
     runnable.clear();
     for (size_t index : active) {
-      if (jobs[index].HasRunnable(kind)) runnable.push_back(index);
+      // Jobs waiting out a retry backoff receive no grants; a kWake event
+      // at retry_ready_time re-runs this loop.
+      if (jobs[index].HasRunnable(kind) &&
+          jobs[index].retry_ready_time <= now) {
+        runnable.push_back(index);
+      }
     }
     if (runnable.empty()) return false;
     int pick = scheduler->PickJob(jobs, runnable, kind,
@@ -255,6 +382,7 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
   };
 
   auto schedule_loop = [&](double now) {
+    context.now = now;
     bool granted = true;
     while (granted) {
       granted = false;
@@ -264,7 +392,6 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
   };
 
   double last_finish = 0.0;
-  double first_submit = jobs.front().submit_time;
   while (!queue.empty()) {
     Event event = queue.top();
     queue.pop();
@@ -273,32 +400,121 @@ StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
     meter.Advance(event.time, busy, occupancy_slot_seconds);
 
     SimJob& job = jobs[event.job_index];
-    if (event.kind == Event::Kind::kArrival) {
-      active.push_back(event.job_index);
-    } else {
-      if (event.task_kind == TaskKind::kMap) {
-        job.maps_finished += event.count;
-        free_map_slots += event.count;
-        if (!job.is_small) context.large_running_maps -= event.count;
-      } else {
-        job.reduces_finished += event.count;
-        free_reduce_slots += event.count;
-        if (!job.is_small) context.large_running_reduces -= event.count;
-      }
-      if (job.Finished() && job.finish_time < 0.0) {
-        job.finish_time = event.time;
-        last_finish = std::max(last_finish, event.time);
-        active.erase(std::find(active.begin(), active.end(), event.job_index));
-        for (size_t child : children[event.job_index]) {
-          --jobs[child].unfinished_parents;
+    switch (event.kind) {
+      case Event::Kind::kArrival:
+        active.push_back(event.job_index);
+        break;
+      case Event::Kind::kWake:
+        break;  // only here to re-enter the grant loop after a backoff
+      case Event::Kind::kNodeLoss: {
+        ++result.failures.node_losses;
+        // One node's worth of running slots dies. Victims are drawn from
+        // active jobs in arrival order (deterministic); the kill is
+        // charged when the affected wave completes, matching Hadoop's
+        // heartbeat-timeout detection of lost TaskTrackers.
+        int64_t map_quota = options.cluster.map_slots_per_node;
+        int64_t reduce_quota = options.cluster.reduce_slots_per_node;
+        for (size_t index : active) {
+          SimJob& victim = jobs[index];
+          if (map_quota > 0) {
+            int64_t take = std::min(
+                map_quota, victim.maps_running() - victim.kill_pending_maps);
+            if (take > 0) {
+              victim.kill_pending_maps += take;
+              map_quota -= take;
+            }
+          }
+          if (reduce_quota > 0) {
+            int64_t take = std::min(reduce_quota,
+                                    victim.reduces_running() -
+                                        victim.kill_pending_reduces);
+            if (take > 0) {
+              victim.kill_pending_reduces += take;
+              reduce_quota -= take;
+            }
+          }
+          if (map_quota == 0 && reduce_quota == 0) break;
         }
-        JobOutcome outcome;
-        outcome.job_id = job.record->job_id;
-        outcome.submit_time = job.submit_time;
-        outcome.latency = job.finish_time - job.submit_time;
-        outcome.ideal_latency = job.IdealLatency();
-        outcome.is_small = job.is_small;
-        result.outcomes.push_back(outcome);
+        // Self-reschedule while the simulation still has work; stop when
+        // this was the last event so the loop terminates.
+        if (!queue.empty()) {
+          queue.push(Event{
+              event.time + loss_rng.NextExponential(loss_rate_per_second),
+              seq++, Event::Kind::kNodeLoss, 0, TaskKind::kMap, 0, 1, 0.0});
+        }
+        break;
+      }
+      case Event::Kind::kTasksFailed: {
+        if (event.task_kind == TaskKind::kMap) {
+          job.maps_launched -= event.count;
+          free_map_slots += event.count;
+          if (!job.is_small) context.large_running_maps -= event.count;
+          // Tasks that died on their own also satisfy any pending
+          // node-loss kill (they no longer exist to be killed later).
+          job.kill_pending_maps =
+              std::max<int64_t>(0, job.kill_pending_maps - event.count);
+        } else {
+          job.reduces_launched -= event.count;
+          free_reduce_slots += event.count;
+          if (!job.is_small) context.large_running_reduces -= event.count;
+          job.kill_pending_reduces =
+              std::max<int64_t>(0, job.kill_pending_reduces - event.count);
+        }
+        result.failures.task_failures += event.count;
+        result.failures.failed_task_seconds +=
+            static_cast<double>(event.count) * event.unit_seconds;
+        context.failed_attempts += event.count;
+        handle_attempt_failure(event.job_index, event.task_kind,
+                               event.attempt, event.count, event.time);
+        break;
+      }
+      case Event::Kind::kTasksDone: {
+        int64_t killed = 0;
+        if (event.task_kind == TaskKind::kMap) {
+          if (job.kill_pending_maps > 0) {
+            killed = std::min(event.count, job.kill_pending_maps);
+            job.kill_pending_maps -= killed;
+          }
+          job.maps_finished += event.count - killed;
+          job.maps_launched -= killed;
+          free_map_slots += event.count;
+          if (!job.is_small) context.large_running_maps -= event.count;
+        } else {
+          if (job.kill_pending_reduces > 0) {
+            killed = std::min(event.count, job.kill_pending_reduces);
+            job.kill_pending_reduces -= killed;
+          }
+          job.reduces_finished += event.count - killed;
+          job.reduces_launched -= killed;
+          free_reduce_slots += event.count;
+          if (!job.is_small) context.large_running_reduces -= event.count;
+        }
+        if (killed > 0) {
+          result.failures.tasks_lost_to_nodes += killed;
+          result.failures.failed_task_seconds +=
+              static_cast<double>(killed) * event.unit_seconds;
+          context.failed_attempts += killed;
+          handle_attempt_failure(event.job_index, event.task_kind,
+                                 event.attempt, killed, event.time);
+        }
+        if (!job.failed && job.Finished() && job.finish_time < 0.0) {
+          job.finish_time = event.time;
+          last_finish = std::max(last_finish, event.time);
+          active.erase(
+              std::find(active.begin(), active.end(), event.job_index));
+          for (size_t child : children[event.job_index]) {
+            --jobs[child].unfinished_parents;
+          }
+          JobOutcome outcome;
+          outcome.job_id = job.record->job_id;
+          outcome.submit_time = job.submit_time;
+          outcome.latency = job.finish_time - job.submit_time;
+          outcome.ideal_latency = job.IdealLatency();
+          outcome.is_small = job.is_small;
+          outcome.retries = job.retries;
+          result.outcomes.push_back(outcome);
+        }
+        break;
       }
     }
     schedule_loop(event.time);

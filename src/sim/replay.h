@@ -25,6 +25,37 @@ struct ClusterConfig {
   int total_reduce_slots() const { return nodes * reduce_slots_per_node; }
 };
 
+/// Seeded failure model (section 6.2: the paper's replay findings hinge on
+/// how fault tolerance interacts with small single-wave jobs). Disabled by
+/// default; when both knobs are zero the engine never consults the failure
+/// RNG streams, so replay output is bit-identical to a build without the
+/// model. Deterministic in (trace, options) like everything else here.
+struct FailureOptions {
+  /// Independent probability that a launched task attempt dies partway
+  /// through. Failed attempts waste failure_point of their duration in
+  /// occupied slot-seconds, then re-execute after a backoff.
+  double task_failure_probability = 0.0;
+  /// Fraction of the attempt duration a failing task runs before dying.
+  double failure_point = 0.5;
+  /// Poisson rate of whole-node losses per simulated hour, cluster-wide.
+  /// A loss kills up to one node's worth of running map and reduce slots;
+  /// the kills are charged when the affected wave would have completed
+  /// (lost TaskTrackers are detected by heartbeat timeout in Hadoop, not
+  /// instantly), wasting the full attempt duration.
+  double node_loss_per_hour = 0.0;
+  /// Attempt budget per (job, task kind), initial attempt included —
+  /// Hadoop's mapred.map.max.attempts. A batch failing at its final
+  /// attempt kills the whole job.
+  int max_attempts = 4;
+  /// Failed tasks become eligible for re-launch only after
+  /// retry_backoff_seconds * failed-attempt-number (linear backoff).
+  double retry_backoff_seconds = 10.0;
+
+  bool enabled() const {
+    return task_failure_probability > 0.0 || node_loss_per_hour > 0.0;
+  }
+};
+
 struct ReplayOptions {
   ClusterConfig cluster;
   /// "fifo", "fair", or "two-tier".
@@ -55,6 +86,8 @@ struct ReplayOptions {
   /// are rejected; dependency cycles stall their jobs (reported via
   /// ReplayResult::unfinished_jobs rather than hanging).
   FlatHashMap<uint64_t, std::vector<uint64_t>> dependencies;
+  /// Task/node failure injection; see FailureOptions.
+  FailureOptions failures;
 };
 
 /// Outcome of one replayed job.
@@ -66,17 +99,38 @@ struct JobOutcome {
   /// One-wave lower bound (unlimited slots).
   double ideal_latency = 0.0;
   bool is_small = false;
+  /// Task re-executions this job needed (0 without failure injection).
+  int64_t retries = 0;
 
   double Slowdown() const {
     return ideal_latency > 0.0 ? latency / ideal_latency : 1.0;
   }
 };
 
+/// Accounting block for injected failures; all-zero when disabled.
+struct FailureStats {
+  /// Task attempts that died from per-task probability failures.
+  int64_t task_failures = 0;
+  /// Whole-node loss events applied.
+  int64_t node_losses = 0;
+  /// Task attempts killed by node losses.
+  int64_t tasks_lost_to_nodes = 0;
+  /// Re-executed task attempts launched (attempt number > 1).
+  int64_t retries = 0;
+  /// Jobs killed after a task batch exhausted max_attempts.
+  int64_t failed_jobs = 0;
+  /// Slot-seconds burned by attempts that did not complete.
+  double failed_task_seconds = 0.0;
+};
+
 struct ReplayResult {
   std::string scheduler;
   std::vector<JobOutcome> outcomes;
-  /// Jobs that never became runnable (unsatisfiable dependencies).
+  /// Jobs that never finished: unsatisfiable dependencies, or killed by
+  /// failure injection (the latter also counted in failures.failed_jobs).
   size_t unfinished_jobs = 0;
+  /// Failure-injection accounting (all zero when injection is disabled).
+  FailureStats failures;
   /// Average occupied slots (map + reduce) per hour of simulated time -
   /// the paper's Figure 7 fourth column ("utilization in average active
   /// slots").

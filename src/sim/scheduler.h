@@ -16,6 +16,14 @@ struct SchedulerContext {
   int64_t large_running_maps = 0;
   int64_t large_running_reduces = 0;
 
+  /// Simulated time of the current grant round. Lets policies reason about
+  /// waiting time or failure backoff without a clock side-channel.
+  double now = 0.0;
+
+  /// Task attempts lost to injected failures so far (probability failures
+  /// + node losses). Zero when failure injection is disabled.
+  int64_t failed_attempts = 0;
+
   int64_t LargeRunning(TaskKind kind) const {
     return kind == TaskKind::kMap ? large_running_maps
                                   : large_running_reduces;

@@ -38,6 +38,38 @@ struct SimJob {
   /// with pending parents is held even after its submit time.
   int64_t unfinished_parents = 0;
 
+  // --- Failure-injection state (see ReplayOptions::failures) -----------
+  //
+  // Tasks of a kind are homogeneous waves, so attempts are tracked per
+  // (job, kind), not per individual task: a failed batch pushes its tasks
+  // back into the unlaunched pool (launched is decremented) and raises the
+  // kind's attempt level; the next granted batch of that kind runs at that
+  // level. When a batch fails at attempt max_attempts, the job is killed
+  // (Hadoop fails the job once any task exhausts its attempts).
+
+  /// Attempt level the next launched batch of each kind runs at (1 =
+  /// fresh; >1 = re-execution, counted in FailureStats::retries).
+  int map_attempt = 1;
+  int reduce_attempt = 1;
+  /// Re-executions launched for this job (reported in JobOutcome).
+  int64_t retries = 0;
+  /// Tasks from failed batches awaiting re-launch: launches are counted as
+  /// retries only up to this debt, so tasks that merely share an elevated
+  /// attempt level with a failed sibling are not miscounted as retries.
+  int64_t map_relaunch_debt = 0;
+  int64_t reduce_relaunch_debt = 0;
+  /// Failed tasks wait out a linear backoff; the job receives no grants
+  /// of either kind before this time.
+  double retry_ready_time = 0.0;
+  /// Node-loss kills are applied when the in-flight wave completes
+  /// (heartbeat-timeout semantics): this many completions of each kind are
+  /// converted to failures instead.
+  int64_t kill_pending_maps = 0;
+  int64_t kill_pending_reduces = 0;
+  /// Exhausted its attempt budget; removed from the active set, never
+  /// finishes, counted in FailureStats::failed_jobs.
+  bool failed = false;
+
   int64_t maps_running() const { return maps_launched - maps_finished; }
   int64_t reduces_running() const {
     return reduces_launched - reduces_finished;

@@ -49,9 +49,24 @@ EmpiricalCdf::Curve EmpiricalCdf::LogCurve(size_t points, double floor) const {
   Curve curve;
   if (sorted_.empty() || points == 0) return curve;
   double lo = std::max(min(), floor);
+  if (lo <= 0.0) {
+    // A log axis cannot reach zero: zero-byte jobs with a non-positive
+    // floor would feed log10 a non-positive value and poison the curve
+    // with NaN/-inf. Start at the smallest positive sample instead.
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), 0.0);
+    if (it == sorted_.end()) {
+      // No positive mass at all; the whole distribution sits at <= 0.
+      curve.x.push_back(0.0);
+      curve.fraction.push_back(1.0);
+      return curve;
+    }
+    lo = *it;
+  }
   double hi = std::max(max(), lo);
-  if (hi <= lo) {
-    curve.x.push_back(lo);
+  if (hi <= lo || points == 1) {
+    // Degenerate span (or a single requested point, which would divide by
+    // zero below): one point at the top of the range covers everything.
+    curve.x.push_back(hi);
     curve.fraction.push_back(1.0);
     return curve;
   }

@@ -210,6 +210,11 @@ StatusOr<ChooseKResult> ChooseKByElbow(
     const std::vector<std::vector<double>>& points, int max_k,
     double min_improvement, const KMeansOptions& options) {
   if (max_k < 1) return InvalidArgumentError("max_k must be >= 1");
+  if (points.empty()) {
+    // Without this, max_k clamps to 0, the loop never runs, and a default
+    // ChooseKResult{k=0} would be returned as success. Match KMeansFit.
+    return InvalidArgumentError("k-means requires at least one point");
+  }
   max_k = std::min<int>(max_k, static_cast<int>(points.size()));
 
   ChooseKResult chosen;

@@ -1,0 +1,110 @@
+#include "trace/csv_mutator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace swim::trace {
+namespace {
+
+/// Offsets of line starts in `text` (always includes 0 for non-empty text).
+std::vector<size_t> LineStarts(const std::string& text) {
+  std::vector<size_t> starts;
+  if (text.empty()) return starts;
+  starts.push_back(0);
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+size_t LineEnd(const std::string& text, size_t start) {
+  size_t end = text.find('\n', start);
+  return end == std::string::npos ? text.size() : end + 1;
+}
+
+/// Numbers that stress ParseDouble edge cases: overflow (1e999 -> ERANGE),
+/// non-finite spellings strtod accepts, subnormals, and plain junk.
+constexpr const char* kHostileNumbers[] = {
+    "1e999",  "-1e999", "inf",   "-inf",  "nan",     "1e-320",
+    "-1e308", "1.8e308", "0x1p3", "1,5",  "9" /*prefix splice*/,
+    "99999999999999999999999999999999999",
+};
+
+}  // namespace
+
+std::string CsvMutator::Mutate(std::string_view csv, uint64_t iteration) const {
+  // A fresh generator per iteration, decorrelated via a splitmix-style
+  // multiply, keeps iterations independent of call order.
+  Pcg32 rng(seed_ + 0x9e3779b97f4a7c15ULL * (iteration + 1),
+            /*stream=*/0xc57);
+  std::string out(csv);
+  const int mutation_count = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int m = 0; m < mutation_count; ++m) {
+    if (out.empty()) break;
+    switch (rng.NextBounded(10)) {
+      case 0:  // Truncate: interrupted download / partial flush.
+        out.resize(rng.NextBounded(out.size() + 1));
+        break;
+      case 1: {  // Flip bytes: bit rot.
+        const uint64_t flips = 1 + rng.NextBounded(8);
+        for (uint64_t f = 0; f < flips && !out.empty(); ++f) {
+          out[rng.NextBounded(out.size())] ^=
+              static_cast<char>(1 + rng.NextBounded(255));
+        }
+        break;
+      }
+      case 2:  // Inject a stray quote (often unbalances a field).
+        out.insert(rng.NextBounded(out.size() + 1), 1, '"');
+        break;
+      case 3:  // Drop a byte (deletes commas, quotes, digits, newlines).
+        out.erase(rng.NextBounded(out.size()), 1);
+        break;
+      case 4: {  // Splice one region over another: torn rewrite.
+        const size_t src = rng.NextBounded(out.size());
+        const size_t len =
+            std::min<size_t>(1 + rng.NextBounded(64), out.size() - src);
+        out.insert(rng.NextBounded(out.size() + 1), out, src, len);
+        break;
+      }
+      case 5: {  // Hostile number dropped mid-stream.
+        const size_t pick =
+            rng.NextBounded(std::size(kHostileNumbers));
+        out.insert(rng.NextBounded(out.size() + 1), kHostileNumbers[pick]);
+        break;
+      }
+      case 6: {  // Duplicate a line: log shipper replay.
+        const auto starts = LineStarts(out);
+        if (starts.empty()) break;
+        const size_t start = starts[rng.NextBounded(starts.size())];
+        out.insert(start, out.substr(start, LineEnd(out, start) - start));
+        break;
+      }
+      case 7: {  // Delete a line: log shipper drop.
+        const auto starts = LineStarts(out);
+        if (starts.empty()) break;
+        const size_t start = starts[rng.NextBounded(starts.size())];
+        out.erase(start, LineEnd(out, start) - start);
+        break;
+      }
+      case 8: {  // Extra commas: field-count damage.
+        const uint64_t commas = 1 + rng.NextBounded(3);
+        out.insert(rng.NextBounded(out.size() + 1), commas, ',');
+        break;
+      }
+      case 9: {  // CRLF conversion of one line ending.
+        const auto starts = LineStarts(out);
+        if (starts.empty()) break;
+        const size_t end = LineEnd(out, starts[rng.NextBounded(starts.size())]);
+        if (end > 0 && end <= out.size() && out[end - 1] == '\n') {
+          out.insert(end - 1, 1, '\r');
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace swim::trace

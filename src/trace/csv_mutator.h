@@ -1,0 +1,35 @@
+#ifndef SWIM_TRACE_CSV_MUTATOR_H_
+#define SWIM_TRACE_CSV_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swim::trace {
+
+/// Deterministic CSV corruption engine for fuzzing the trace parser.
+/// Shared by the gtest property fuzzer (tests/trace_fuzz_test.cc) and the
+/// CI corpus driver (bench/bench_fuzz_ingest.cc) so both exercise the same
+/// mutation space and a failing iteration reproduces from (seed, iteration)
+/// alone.
+///
+/// Mutations model real trace damage: truncated uploads, bit rot, stray
+/// editor quotes, locale-mangled numbers, duplicated/dropped lines from a
+/// bad log shipper, CRLF conversion, and spliced partial records.
+class CsvMutator {
+ public:
+  explicit CsvMutator(uint64_t seed) : seed_(seed) {}
+
+  /// Returns a corrupted copy of `csv`. Deterministic in (seed, iteration)
+  /// and independent of call order, so any failure is replayable without
+  /// the preceding iterations. Applies 1-4 mutations drawn from the kinds
+  /// below.
+  std::string Mutate(std::string_view csv, uint64_t iteration) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace swim::trace
+
+#endif  // SWIM_TRACE_CSV_MUTATOR_H_

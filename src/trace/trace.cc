@@ -6,37 +6,104 @@
 
 namespace swim::trace {
 
+Trace::Trace(const Trace& other) {
+  // Lock the source so a concurrent reader-triggered lazy sort on `other`
+  // cannot move jobs_ under us. Index state is intentionally not copied
+  // (rebuilt on demand); sortedness carries over.
+  std::lock_guard<std::mutex> lock(other.lazy_mu_);
+  metadata_ = other.metadata_;
+  jobs_ = other.jobs_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+Trace& Trace::operator=(const Trace& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.lazy_mu_);
+  metadata_ = other.metadata_;
+  jobs_ = other.jobs_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  path_indexed_.store(false, std::memory_order_relaxed);
+  name_indexed_.store(false, std::memory_order_relaxed);
+  path_interner_.Clear();
+  name_interner_.Clear();
+  input_path_ids_.clear();
+  output_path_ids_.clear();
+  name_ids_.clear();
+  return *this;
+}
+
+Trace::Trace(Trace&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.lazy_mu_);
+  metadata_ = std::move(other.metadata_);
+  jobs_ = std::move(other.jobs_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.sorted_.store(true, std::memory_order_relaxed);
+  other.path_indexed_.store(false, std::memory_order_relaxed);
+  other.name_indexed_.store(false, std::memory_order_relaxed);
+}
+
+Trace& Trace::operator=(Trace&& other) noexcept {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.lazy_mu_);
+  metadata_ = std::move(other.metadata_);
+  jobs_ = std::move(other.jobs_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  path_indexed_.store(false, std::memory_order_relaxed);
+  name_indexed_.store(false, std::memory_order_relaxed);
+  path_interner_.Clear();
+  name_interner_.Clear();
+  input_path_ids_.clear();
+  output_path_ids_.clear();
+  name_ids_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+  other.path_indexed_.store(false, std::memory_order_relaxed);
+  other.name_indexed_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 void Trace::AddJob(JobRecord job) {
   if (!jobs_.empty() && job.submit_time < jobs_.back().submit_time) {
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_relaxed);
   }
   jobs_.push_back(std::move(job));
-  path_indexed_ = false;
-  name_indexed_ = false;
+  path_indexed_.store(false, std::memory_order_relaxed);
+  name_indexed_.store(false, std::memory_order_relaxed);
 }
 
 void Trace::SetJobs(std::vector<JobRecord> jobs) {
   jobs_ = std::move(jobs);
-  sorted_ = false;
-  path_indexed_ = false;
-  name_indexed_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
+  path_indexed_.store(false, std::memory_order_relaxed);
+  name_indexed_.store(false, std::memory_order_relaxed);
   EnsureSorted();
 }
 
 void Trace::EnsureSorted() const {
-  if (sorted_) return;
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  SortLocked();
+}
+
+void Trace::SortLocked() const {
+  if (sorted_.load(std::memory_order_relaxed)) return;
   std::stable_sort(jobs_.begin(), jobs_.end(),
                    [](const JobRecord& a, const JobRecord& b) {
                      return a.submit_time < b.submit_time;
                    });
-  sorted_ = true;
-  path_indexed_ = false;  // ids are assigned in sorted order
-  name_indexed_ = false;
+  path_indexed_.store(false, std::memory_order_relaxed);  // ids follow order
+  name_indexed_.store(false, std::memory_order_relaxed);
+  sorted_.store(true, std::memory_order_release);
 }
 
 void Trace::EnsurePathIndex() const {
-  if (path_indexed_) return;
-  EnsureSorted();
+  if (path_indexed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (path_indexed_.load(std::memory_order_relaxed)) return;
+  SortLocked();
   path_interner_.Clear();
   input_path_ids_.clear();
   output_path_ids_.clear();
@@ -50,12 +117,14 @@ void Trace::EnsurePathIndex() const {
         job.output_path.empty() ? kNoStringId
                                 : path_interner_.Intern(job.output_path));
   }
-  path_indexed_ = true;
+  path_indexed_.store(true, std::memory_order_release);
 }
 
 void Trace::EnsureNameIndex() const {
-  if (name_indexed_) return;
-  EnsureSorted();
+  if (name_indexed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (name_indexed_.load(std::memory_order_relaxed)) return;
+  SortLocked();
   name_interner_.Clear();
   name_ids_.clear();
   name_ids_.reserve(jobs_.size());
@@ -63,7 +132,7 @@ void Trace::EnsureNameIndex() const {
     name_ids_.push_back(job.name.empty() ? kNoStringId
                                          : name_interner_.Intern(job.name));
   }
-  name_indexed_ = true;
+  name_indexed_.store(true, std::memory_order_release);
 }
 
 Status Trace::Validate() const {

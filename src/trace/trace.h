@@ -1,7 +1,9 @@
 #ifndef SWIM_TRACE_TRACE_H_
 #define SWIM_TRACE_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,15 @@ class Trace {
  public:
   Trace() = default;
   explicit Trace(TraceMetadata metadata) : metadata_(std::move(metadata)) {}
+
+  // Copies and moves transfer the job stream, metadata, and sortedness,
+  // but drop the lazy interned-id state (rebuilt on demand): the
+  // synchronization members below are not copyable, and re-interning on
+  // first use beats deep-copying arenas.
+  Trace(const Trace& other);
+  Trace& operator=(const Trace& other);
+  Trace(Trace&& other) noexcept;
+  Trace& operator=(Trace&& other) noexcept;
 
   const TraceMetadata& metadata() const { return metadata_; }
   TraceMetadata& mutable_metadata() { return metadata_; }
@@ -82,9 +93,11 @@ class Trace {
   // The path and name indexes are built lazily (and independently — a
   // popularity analysis never pays for name interning and vice versa) on
   // first access, and invalidated by AddJob/SetJobs. The lazy builds are
-  // NOT thread-safe: callers that fan out over a shared trace must touch
-  // the accessors they need first (as AnalyzeWorkload does), mirroring
-  // the EnsureSorted contract.
+  // thread-safe for CONCURRENT CONST READERS: the first accessor to need
+  // an index builds it under an internal mutex (double-checked against an
+  // atomic flag) and later readers see the published result, so worker
+  // threads may share a const Trace freely. Mutation (AddJob/SetJobs) is
+  // not synchronized against readers and still requires exclusivity.
 
   /// Interner over input/output paths; ids index path-keyed tables.
   const StringInterner& path_interner() const {
@@ -114,13 +127,20 @@ class Trace {
   void EnsureSorted() const;
   void EnsurePathIndex() const;
   void EnsureNameIndex() const;
+  /// Sorts with lazy_mu_ already held (Ensure* helpers compose on it).
+  void SortLocked() const;
 
   TraceMetadata metadata_;
   mutable std::vector<JobRecord> jobs_;
-  mutable bool sorted_ = true;
 
-  mutable bool path_indexed_ = false;
-  mutable bool name_indexed_ = false;
+  /// Serializes the lazy sort/index builds; the atomic flags are the
+  /// double-checked fast path (acquire load outside the lock publishes the
+  /// built vectors/interners to readers).
+  mutable std::mutex lazy_mu_;
+  mutable std::atomic<bool> sorted_{true};
+  mutable std::atomic<bool> path_indexed_{false};
+  mutable std::atomic<bool> name_indexed_{false};
+
   mutable StringInterner path_interner_;
   mutable StringInterner name_interner_;
   mutable std::vector<uint32_t> input_path_ids_;

@@ -1,6 +1,7 @@
 #include "trace/trace_io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,10 +16,17 @@
 namespace swim::trace {
 namespace {
 
-/// Lines per parallel parse shard. Fixed (independent of thread count) so
-/// shard boundaries — and therefore job order, merged metadata, and which
-/// error is reported first — are identical at any parallelism.
+/// Records per parallel parse shard. Fixed (independent of thread count) so
+/// shard boundaries — and therefore job order, merged metadata, report
+/// contents, and which error is reported first — are identical at any
+/// parallelism.
 constexpr size_t kShardLines = 4096;
+
+/// Max physical lines one quoted record may span. A lone stray quote must
+/// not swallow the rest of a multi-GB file: past this cap the opening line
+/// is surfaced alone (it will fail as unbalanced) and parsing resumes at
+/// the next physical line.
+constexpr int kMaxRecordLines = 64;
 
 bool NeedsQuoting(std::string_view field) {
   return field.find_first_of(",\"\n") != std::string_view::npos;
@@ -35,14 +43,20 @@ std::string QuoteField(std::string_view field) {
   return quoted;
 }
 
-/// Splits one CSV line honoring RFC 4180 quoting. Returns false on
-/// unbalanced quotes. The fast path (no quote character anywhere, i.e.
-/// every machine-generated numeric row) splits zero-copy into views of
-/// `line`; the quoted path unescapes into `scratch` and the views point
-/// into those strings, which stay alive until the next call.
-bool SplitCsvLine(std::string_view line,
-                  std::vector<std::string_view>* fields,
-                  std::vector<std::string>* scratch) {
+enum class CsvLineError { kNone, kUnbalancedQuote, kMidFieldQuote };
+
+/// Splits one CSV record honoring RFC 4180 quoting. Quotes are only legal
+/// as a field-opening quote, doubled inside a quoted field, or as the
+/// closing quote immediately followed by a comma or end of record; any
+/// other position (ab"cd, "ab"cd) is rejected as kMidFieldQuote so repair
+/// mode can count it instead of silently corrupting the field. The fast
+/// path (no quote character anywhere, i.e. every machine-generated numeric
+/// row) splits zero-copy into views of `line`; the quoted path unescapes
+/// into `scratch` and the views point into those strings, which stay alive
+/// until the next call.
+CsvLineError SplitCsvLine(std::string_view line,
+                          std::vector<std::string_view>* fields,
+                          std::vector<std::string>* scratch) {
   fields->clear();
   if (line.find('"') == std::string_view::npos) {
     size_t start = 0;
@@ -50,7 +64,7 @@ bool SplitCsvLine(std::string_view line,
       size_t comma = line.find(',', start);
       if (comma == std::string_view::npos) {
         fields->push_back(line.substr(start));
-        return true;
+        return CsvLineError::kNone;
       }
       fields->push_back(line.substr(start, comma - start));
       start = comma + 1;
@@ -59,6 +73,7 @@ bool SplitCsvLine(std::string_view line,
   scratch->clear();
   std::string current;
   bool in_quotes = false;
+  bool closed_quote = false;  // current field was quoted and is now closed
   for (size_t i = 0; i < line.size(); ++i) {
     char c = line[i];
     if (in_quotes) {
@@ -68,26 +83,32 @@ bool SplitCsvLine(std::string_view line,
           ++i;
         } else {
           in_quotes = false;
+          closed_quote = true;
         }
       } else {
         current.push_back(c);
       }
-    } else if (c == '"' && current.empty()) {
-      in_quotes = true;
     } else if (c == ',') {
       scratch->push_back(std::move(current));
       current.clear();
+      closed_quote = false;
+    } else if (closed_quote) {
+      // "ab"cd — junk after the closing quote.
+      return CsvLineError::kMidFieldQuote;
+    } else if (c == '"') {
+      if (!current.empty()) return CsvLineError::kMidFieldQuote;  // ab"cd
+      in_quotes = true;
     } else {
       current.push_back(c);
     }
   }
-  if (in_quotes) return false;
+  if (in_quotes) return CsvLineError::kUnbalancedQuote;
   scratch->push_back(std::move(current));
   // Build the views only once scratch is fully populated: push_back above
   // may reallocate and move small (SSO) strings, which would dangle.
   fields->reserve(scratch->size());
   for (const std::string& field : *scratch) fields->push_back(field);
-  return true;
+  return CsvLineError::kNone;
 }
 
 std::string FormatDouble(double value) {
@@ -102,46 +123,122 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-Status ParseRow(const std::vector<std::string_view>& fields, int line_number,
-                JobRecord* job) {
-  if (fields.size() != 13) {
-    return InvalidArgumentError("line " + std::to_string(line_number) +
-                                ": expected 13 fields, got " +
-                                std::to_string(fields.size()));
-  }
-  auto fail = [&](const char* what) {
-    return InvalidArgumentError("line " + std::to_string(line_number) +
-                                ": bad " + std::string(what));
+enum class RowAction { kAccepted, kRepaired, kSkipped };
+
+/// Clamps a structurally-parsed record onto the nearest valid one: negative
+/// values go to zero, and orphan task-seconds (seconds recorded against a
+/// zero task count) are zeroed.
+void RepairRecord(JobRecord* job) {
+  job->submit_time = std::max(0.0, job->submit_time);
+  job->duration = std::max(0.0, job->duration);
+  job->input_bytes = std::max(0.0, job->input_bytes);
+  job->shuffle_bytes = std::max(0.0, job->shuffle_bytes);
+  job->output_bytes = std::max(0.0, job->output_bytes);
+  job->map_tasks = std::max<int64_t>(0, job->map_tasks);
+  job->reduce_tasks = std::max<int64_t>(0, job->reduce_tasks);
+  job->map_task_seconds = std::max(0.0, job->map_task_seconds);
+  job->reduce_task_seconds = std::max(0.0, job->reduce_task_seconds);
+  if (job->map_tasks == 0) job->map_task_seconds = 0.0;
+  if (job->reduce_tasks == 0) job->reduce_task_seconds = 0.0;
+}
+
+/// Parses one split row under the given mode. On any flagged problem the
+/// diagnostic records the row's first problem (fields scanned left to
+/// right); kRepair additionally patches every patchable field and reports
+/// kRepaired when the row survives. job_id and the field count are
+/// identity/structure and never repairable.
+RowAction ParseRowLenient(const std::vector<std::string_view>& fields,
+                          int line_number, ParseMode mode, JobRecord* job,
+                          ParseDiagnostic* diag) {
+  diag->line = line_number;
+  diag->repaired = false;
+  bool flagged = false;
+  auto flag = [&](ParseErrorKind kind, const char* field, std::string reason) {
+    if (flagged) return;
+    flagged = true;
+    diag->kind = kind;
+    diag->field = field;
+    diag->reason = std::move(reason);
   };
+  if (fields.size() != 13) {
+    flag(ParseErrorKind::kFieldCount, "",
+         "expected 13 fields, got " + std::to_string(fields.size()));
+    return RowAction::kSkipped;
+  }
+  const bool repair = mode == ParseMode::kRepair;
   int64_t id = 0;
-  if (!ParseInt64(fields[0], &id) || id < 0) return fail("job_id");
+  if (!ParseInt64(fields[0], &id) || id < 0) {
+    flag(ParseErrorKind::kBadNumber, "job_id", "bad job_id");
+    return RowAction::kSkipped;  // identity lost; unrepairable
+  }
   job->job_id = static_cast<uint64_t>(id);
   job->name = std::string(fields[1]);
-  if (!ParseDouble(fields[2], &job->submit_time)) return fail("submit_time");
-  if (!ParseDouble(fields[3], &job->duration)) return fail("duration");
-  if (!ParseDouble(fields[4], &job->input_bytes)) return fail("input_bytes");
-  if (!ParseDouble(fields[5], &job->shuffle_bytes)) {
-    return fail("shuffle_bytes");
-  }
-  if (!ParseDouble(fields[6], &job->output_bytes)) {
-    return fail("output_bytes");
-  }
-  if (!ParseInt64(fields[7], &job->map_tasks)) return fail("map_tasks");
-  if (!ParseInt64(fields[8], &job->reduce_tasks)) return fail("reduce_tasks");
-  if (!ParseDouble(fields[9], &job->map_task_seconds)) {
-    return fail("map_task_seconds");
-  }
-  if (!ParseDouble(fields[10], &job->reduce_task_seconds)) {
-    return fail("reduce_task_seconds");
+
+  auto read_double = [&](size_t index, const char* name, double* out) {
+    double v = 0.0;
+    if (!ParseDouble(fields[index], &v) || !std::isfinite(v)) {
+      flag(ParseErrorKind::kBadNumber, name, std::string("bad ") + name);
+      if (!repair) return false;
+      v = 0.0;
+    }
+    *out = v;
+    return true;
+  };
+  auto read_int = [&](size_t index, const char* name, int64_t* out) {
+    int64_t v = 0;
+    if (!ParseInt64(fields[index], &v)) {
+      flag(ParseErrorKind::kBadNumber, name, std::string("bad ") + name);
+      if (!repair) return false;
+      v = 0;
+    }
+    *out = v;
+    return true;
+  };
+  if (!read_double(2, "submit_time", &job->submit_time) ||
+      !read_double(3, "duration", &job->duration) ||
+      !read_double(4, "input_bytes", &job->input_bytes) ||
+      !read_double(5, "shuffle_bytes", &job->shuffle_bytes) ||
+      !read_double(6, "output_bytes", &job->output_bytes) ||
+      !read_int(7, "map_tasks", &job->map_tasks) ||
+      !read_int(8, "reduce_tasks", &job->reduce_tasks) ||
+      !read_double(9, "map_task_seconds", &job->map_task_seconds) ||
+      !read_double(10, "reduce_task_seconds", &job->reduce_task_seconds)) {
+    return RowAction::kSkipped;
   }
   job->input_path = std::string(fields[11]);
   job->output_path = std::string(fields[12]);
+
   std::string violation = ValidateJobRecord(*job);
   if (!violation.empty()) {
-    return InvalidArgumentError("line " + std::to_string(line_number) + ": " +
-                                violation);
+    flag(ParseErrorKind::kInvalidRecord, "", violation);
+    if (!repair) return RowAction::kSkipped;
   }
-  return Status::Ok();
+  if (flagged && repair) {
+    RepairRecord(job);
+    if (!ValidateJobRecord(*job).empty()) return RowAction::kSkipped;
+  }
+  if (!flagged) return RowAction::kAccepted;
+  diag->repaired = true;
+  return RowAction::kRepaired;
+}
+
+/// Strict-mode error text for a flagged row, matching the historical
+/// messages ("line N: expected 13 fields...", "line N: bad submit_time").
+Status DiagnosticToStatus(const ParseDiagnostic& diag) {
+  std::string what;
+  switch (diag.kind) {
+    case ParseErrorKind::kUnbalancedQuote:
+      what = "unbalanced quotes";
+      break;
+    case ParseErrorKind::kMidFieldQuote:
+      what = "quote in the middle of a field";
+      break;
+    default:
+      what = diag.reason;
+      break;
+  }
+  return InvalidArgumentError("line " + std::to_string(diag.line) + ": " +
+                              what);
 }
 
 /// Applies a "#key=value" metadata assignment to the trace.
@@ -161,24 +258,147 @@ void ApplyMetadata(Trace* trace, std::string_view key, std::string_view value) {
   }
 }
 
-/// Splits `text` into lines with std::getline semantics: '\n' separated,
-/// no empty final line after a trailing newline, trailing '\r' stripped.
-std::vector<std::string_view> SplitLines(std::string_view text) {
-  std::vector<std::string_view> lines;
+/// One logical CSV record: a view into the input plus the 1-based physical
+/// line number where it starts (used in diagnostics).
+struct CsvRecord {
+  std::string_view text;
+  int line = 0;
+};
+
+/// Splits `text` into records with std::getline semantics ('\n' separated,
+/// no empty final record after a trailing newline, trailing '\r' stripped
+/// at each record end), extended with RFC 4180 quote continuation: a line
+/// with an open quote at its end pulls in following physical lines until
+/// the quote closes, so quoted fields may contain newlines. '#' comment
+/// lines never continue. Continuation is capped at kMaxRecordLines; an
+/// unclosed quote surfaces only its opening line (later flagged as
+/// unbalanced) and parsing resumes on the next physical line, which is what
+/// lets skip/repair modes recover from a single stray quote.
+std::vector<CsvRecord> SplitRecords(std::string_view text) {
+  std::vector<CsvRecord> records;
   size_t pos = 0;
+  int line_no = 0;  // physical lines fully consumed
   while (pos < text.size()) {
+    const int record_line = line_no + 1;
     size_t nl = text.find('\n', pos);
     size_t end = (nl == std::string_view::npos) ? text.size() : nl;
-    std::string_view line = text.substr(pos, end - pos);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    lines.push_back(line);
-    if (nl == std::string_view::npos) break;
-    pos = nl + 1;
+    size_t after = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    int consumed = 1;
+
+    bool in_quotes = false;
+    if (text[pos] != '#') {
+      for (size_t i = pos; i < end; ++i) {
+        if (text[i] == '"') in_quotes = !in_quotes;
+      }
+    }
+    if (in_quotes) {
+      // Quote still open at end of line: scan continuation lines.
+      size_t scan = after;
+      int span = 1;
+      bool closed = false;
+      while (scan < text.size() && span < kMaxRecordLines) {
+        size_t cnl = text.find('\n', scan);
+        size_t cend = (cnl == std::string_view::npos) ? text.size() : cnl;
+        size_t cafter = (cnl == std::string_view::npos) ? text.size() : cnl + 1;
+        for (size_t i = scan; i < cend; ++i) {
+          if (text[i] == '"') in_quotes = !in_quotes;
+        }
+        ++span;
+        if (!in_quotes) {
+          end = cend;
+          after = cafter;
+          consumed = span;
+          closed = true;
+          break;
+        }
+        scan = cafter;
+      }
+      if (!closed) {
+        // Unbalanced: keep only the opening physical line (end/after/
+        // consumed already describe it) and let the row parser flag it.
+      }
+    }
+    std::string_view record = text.substr(pos, end - pos);
+    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+    records.push_back({record, record_line});
+    line_no += consumed;
+    pos = after;
   }
-  return lines;
+  return records;
 }
 
 }  // namespace
+
+StatusOr<ParseMode> ParseModeFromName(std::string_view name) {
+  std::string normalized = ToLower(name);
+  if (normalized == "strict") return ParseMode::kStrict;
+  if (normalized == "skip") return ParseMode::kSkip;
+  if (normalized == "repair") return ParseMode::kRepair;
+  return InvalidArgumentError("unknown parse mode '" + std::string(name) +
+                              "' (expected strict|skip|repair)");
+}
+
+const char* ParseModeName(ParseMode mode) {
+  switch (mode) {
+    case ParseMode::kStrict:
+      return "strict";
+    case ParseMode::kSkip:
+      return "skip";
+    case ParseMode::kRepair:
+      return "repair";
+  }
+  return "?";
+}
+
+const char* ParseErrorKindName(ParseErrorKind kind) {
+  switch (kind) {
+    case ParseErrorKind::kUnbalancedQuote:
+      return "unbalanced-quote";
+    case ParseErrorKind::kMidFieldQuote:
+      return "mid-field-quote";
+    case ParseErrorKind::kFieldCount:
+      return "field-count";
+    case ParseErrorKind::kBadNumber:
+      return "bad-number";
+    case ParseErrorKind::kInvalidRecord:
+      return "invalid-record";
+  }
+  return "?";
+}
+
+std::string ParseDiagnostic::ToString() const {
+  std::string out = "line " + std::to_string(line) + " [" +
+                    ParseErrorKindName(kind) + "]";
+  if (!field.empty()) out += " " + field;
+  if (!reason.empty()) out += ": " + reason;
+  out += repaired ? " (repaired)" : " (skipped)";
+  return out;
+}
+
+std::string ParseReport::ToString() const {
+  std::string out = "ingest (" + std::string(ParseModeName(mode)) + "): " +
+                    std::to_string(total_rows) + " rows, " +
+                    std::to_string(accepted) + " accepted";
+  if (repaired > 0) out += " (" + std::to_string(repaired) + " repaired)";
+  out += ", " + std::to_string(skipped) + " skipped";
+  if (flagged() > 0) {
+    out += "\n  categories:";
+    for (size_t i = 0; i < kParseErrorKinds; ++i) {
+      if (error_counts[i] == 0) continue;
+      out += " " +
+             std::string(ParseErrorKindName(static_cast<ParseErrorKind>(i))) +
+             "=" + std::to_string(error_counts[i]);
+    }
+  }
+  for (const ParseDiagnostic& diag : diagnostics) {
+    out += "\n  " + diag.ToString();
+  }
+  if (dropped_diagnostics > 0) {
+    out += "\n  (" + std::to_string(dropped_diagnostics) +
+           " more flagged rows not shown)";
+  }
+  return out;
+}
 
 std::string TraceToCsv(const Trace& trace) {
   std::ostringstream os;
@@ -203,15 +423,21 @@ std::string TraceToCsv(const Trace& trace) {
   return os.str();
 }
 
-StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
+StatusOr<Trace> TraceFromCsv(const std::string& csv_text,
+                             const ParseOptions& options,
+                             ParseReport* report) {
   Trace trace;
-  const std::vector<std::string_view> lines = SplitLines(csv_text);
+  if (report) {
+    *report = ParseReport{};
+    report->mode = options.mode;
+  }
+  const std::vector<CsvRecord> records = SplitRecords(csv_text);
 
   // Sequential prologue: metadata comments up to and including the header.
-  size_t first_data = lines.size();
+  size_t first_data = records.size();
   bool header_seen = false;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    std::string_view line = lines[i];
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::string_view line = records[i].text;
     if (line.empty()) continue;
     if (line[0] == '#') {
       auto parts = Split(line.substr(1), '=');
@@ -219,7 +445,7 @@ StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
       continue;
     }
     if (line != kTraceCsvHeader) {
-      return InvalidArgumentError("line " + std::to_string(i + 1) +
+      return InvalidArgumentError("line " + std::to_string(records[i].line) +
                                   ": unrecognized header");
     }
     header_seen = true;
@@ -228,27 +454,50 @@ StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
   }
   if (!header_seen) return InvalidArgumentError("missing CSV header");
 
-  // Data region: fixed-size line shards parsed concurrently. Each shard
-  // collects its jobs, any "#key=value" assignments, and its first error;
-  // merging in shard order reproduces the serial parser exactly.
+  // Data region: fixed-size record shards parsed concurrently. Each shard
+  // collects its jobs, any "#key=value" assignments, its report fragment,
+  // and (strict mode) its first error; merging in shard order reproduces
+  // the serial parser exactly, so trace AND report are byte-identical at
+  // any thread count.
   struct Shard {
     std::vector<JobRecord> jobs;
     std::vector<std::pair<std::string, std::string>> metadata;
     Status error = Status::Ok();
+    size_t rows = 0;
+    size_t skipped = 0;
+    size_t repaired = 0;
+    std::array<size_t, kParseErrorKinds> error_counts{};
+    std::vector<ParseDiagnostic> diagnostics;  // capped at max_diagnostics
+    size_t dropped_diagnostics = 0;
   };
   const size_t shard_count =
-      (lines.size() - first_data + kShardLines - 1) / kShardLines;
+      (records.size() - first_data + kShardLines - 1) / kShardLines;
   std::vector<Shard> shards(shard_count);
+  const ParseMode mode = options.mode;
+  const size_t max_diagnostics = options.max_diagnostics;
   ParallelFor(
-      first_data, lines.size(), kShardLines,
+      first_data, records.size(), kShardLines,
       [&](size_t lo, size_t hi) {
         Shard& shard = shards[(lo - first_data) / kShardLines];
         std::vector<std::string_view> fields;
         std::vector<std::string> scratch;
         shard.jobs.reserve(hi - lo);
+        auto note = [&](const ParseDiagnostic& diag) {
+          ++shard.error_counts[static_cast<size_t>(diag.kind)];
+          if (diag.repaired) {
+            ++shard.repaired;
+          } else {
+            ++shard.skipped;
+          }
+          if (shard.diagnostics.size() < max_diagnostics) {
+            shard.diagnostics.push_back(diag);
+          } else {
+            ++shard.dropped_diagnostics;
+          }
+        };
         for (size_t i = lo; i < hi; ++i) {
-          std::string_view line = lines[i];
-          const int line_number = static_cast<int>(i) + 1;
+          std::string_view line = records[i].text;
+          const int line_number = records[i].line;
           if (line.empty()) continue;
           if (line[0] == '#') {
             auto parts = Split(line.substr(1), '=');
@@ -258,22 +507,38 @@ StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
             }
             continue;
           }
-          if (!SplitCsvLine(line, &fields, &scratch)) {
-            shard.error =
-                InvalidArgumentError("line " + std::to_string(line_number) +
-                                     ": unbalanced quotes");
-            return;
+          ++shard.rows;
+          ParseDiagnostic diag;
+          CsvLineError split_error = SplitCsvLine(line, &fields, &scratch);
+          if (split_error != CsvLineError::kNone) {
+            diag.line = line_number;
+            diag.kind = split_error == CsvLineError::kUnbalancedQuote
+                            ? ParseErrorKind::kUnbalancedQuote
+                            : ParseErrorKind::kMidFieldQuote;
+            diag.reason = "";
+            if (mode == ParseMode::kStrict) {
+              shard.error = DiagnosticToStatus(diag);
+              return;
+            }
+            note(diag);
+            continue;
           }
           JobRecord job;
-          Status row = ParseRow(fields, line_number, &job);
-          if (!row.ok()) {
-            shard.error = std::move(row);
-            return;
+          RowAction action =
+              ParseRowLenient(fields, line_number, mode, &job, &diag);
+          if (action == RowAction::kSkipped ||
+              action == RowAction::kRepaired) {
+            if (mode == ParseMode::kStrict) {
+              shard.error = DiagnosticToStatus(diag);
+              return;
+            }
+            note(diag);
+            if (action == RowAction::kSkipped) continue;
           }
           shard.jobs.push_back(std::move(job));
         }
       },
-      threads);
+      options.threads);
 
   // The lowest-indexed shard with an error holds the earliest failing
   // line; report it, like the serial parser's first-error behaviour.
@@ -289,9 +554,33 @@ StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
       ApplyMetadata(&trace, key, value);
     }
     for (JobRecord& job : shard.jobs) jobs.push_back(std::move(job));
+    if (report) {
+      report->total_rows += shard.rows;
+      report->skipped += shard.skipped;
+      report->repaired += shard.repaired;
+      for (size_t i = 0; i < kParseErrorKinds; ++i) {
+        report->error_counts[i] += shard.error_counts[i];
+      }
+      for (ParseDiagnostic& diag : shard.diagnostics) {
+        if (report->diagnostics.size() < options.max_diagnostics) {
+          report->diagnostics.push_back(std::move(diag));
+        } else {
+          ++report->dropped_diagnostics;
+        }
+      }
+      report->dropped_diagnostics += shard.dropped_diagnostics;
+    }
   }
+  if (report) report->accepted = total_jobs;
   trace.SetJobs(std::move(jobs));
   return trace;
+}
+
+StatusOr<Trace> TraceFromCsv(const std::string& csv_text, int threads) {
+  ParseOptions options;
+  options.mode = ParseMode::kStrict;
+  options.threads = threads;
+  return TraceFromCsv(csv_text, options, nullptr);
 }
 
 Status WriteTraceCsv(const Trace& trace, const std::string& path) {
@@ -303,12 +592,21 @@ Status WriteTraceCsv(const Trace& trace, const std::string& path) {
   return Status::Ok();
 }
 
-StatusOr<Trace> ReadTraceCsv(const std::string& path, int threads) {
+StatusOr<Trace> ReadTraceCsv(const std::string& path,
+                             const ParseOptions& options,
+                             ParseReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return IoError("cannot open for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return TraceFromCsv(buffer.str(), threads);
+  return TraceFromCsv(buffer.str(), options, report);
+}
+
+StatusOr<Trace> ReadTraceCsv(const std::string& path, int threads) {
+  ParseOptions options;
+  options.mode = ParseMode::kStrict;
+  options.threads = threads;
+  return ReadTraceCsv(path, options, nullptr);
 }
 
 }  // namespace swim::trace

@@ -56,6 +56,39 @@ TEST(EdgeCdfTest, EmptySample) {
   EXPECT_TRUE(cdf.LogCurve().x.empty());
 }
 
+TEST(EdgeCdfTest, LogCurveSinglePointRequest) {
+  // points == 1 used to divide by (points - 1); must return one finite
+  // point at the max, not NaN.
+  stats::EmpiricalCdf cdf({1.0, 10.0, 100.0});
+  auto curve = cdf.LogCurve(1);
+  ASSERT_EQ(curve.x.size(), 1u);
+  EXPECT_TRUE(std::isfinite(curve.x[0]));
+  EXPECT_DOUBLE_EQ(curve.x[0], 100.0);
+  EXPECT_DOUBLE_EQ(curve.fraction[0], 1.0);
+}
+
+TEST(EdgeCdfTest, LogCurveNonPositiveSamplesStayFinite) {
+  // With a non-positive floor, samples <= 0 used to feed std::log10
+  // directly -> NaN grid. The curve must start at the smallest positive
+  // sample instead.
+  stats::EmpiricalCdf cdf({0.0, 0.0, 2.0, 20.0});
+  auto curve = cdf.LogCurve(8, /*floor=*/0.0);
+  ASSERT_FALSE(curve.x.empty());
+  for (size_t i = 0; i < curve.x.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(curve.x[i])) << i;
+    EXPECT_TRUE(std::isfinite(curve.fraction[i])) << i;
+  }
+  EXPECT_GE(curve.x.front(), 2.0 * 0.99);
+  EXPECT_DOUBLE_EQ(curve.fraction.back(), 1.0);
+
+  // Entirely non-positive: degenerate single point, still finite.
+  stats::EmpiricalCdf zeros({-1.0, 0.0});
+  auto flat = zeros.LogCurve(4, /*floor=*/-5.0);
+  ASSERT_FALSE(flat.x.empty());
+  for (double x : flat.x) EXPECT_TRUE(std::isfinite(x));
+  EXPECT_DOUBLE_EQ(flat.fraction.back(), 1.0);
+}
+
 // --- Histogram rendering ------------------------------------------------------
 
 TEST(EdgeHistogramTest, ToStringListsNonEmptyBins) {

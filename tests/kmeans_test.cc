@@ -109,6 +109,14 @@ TEST(ChooseKTest, RejectsBadMaxK) {
   EXPECT_FALSE(ChooseKByElbow(points, 0).ok());
 }
 
+TEST(ChooseKTest, RejectsEmptyPoints) {
+  // Used to return ChooseKResult{k=0} as success; must fail like KMeansFit.
+  std::vector<std::vector<double>> points;
+  auto chosen = ChooseKByElbow(points, 4);
+  ASSERT_FALSE(chosen.ok());
+  EXPECT_FALSE(KMeansFit(points, 1).ok());
+}
+
 TEST(StandardizeTest, ZeroMeanUnitVariance) {
   std::vector<std::vector<double>> points = {{1, 100}, {2, 200}, {3, 300}};
   ColumnScaling scaling = StandardizeColumns(points);

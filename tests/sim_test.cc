@@ -257,5 +257,170 @@ TEST(ReplayTest, RejectsBadInputs) {
   EXPECT_FALSE(ReplayTrace(t, options).ok());
 }
 
+// --- Failure injection ------------------------------------------------------
+
+trace::Trace FailureFleet(int jobs = 40) {
+  trace::Trace t;
+  for (int i = 1; i <= jobs; ++i) {
+    t.AddJob(SimpleJob(static_cast<uint64_t>(i), 5.0 * i, 4, 120, 2, 40));
+  }
+  return t;
+}
+
+TEST(FailureTest, RejectsBadFailureOptions) {
+  trace::Trace t = FailureFleet(1);
+  ReplayOptions options;
+  options.failures.task_failure_probability = 1.5;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.failures.failure_point = 0.0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.failures.max_attempts = 0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.failures.node_loss_per_hour = -1;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.failures.retry_backoff_seconds = -1;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+}
+
+TEST(FailureTest, DisabledModelLeavesReplayUntouched) {
+  // With both failure knobs at zero the failure RNG streams are never
+  // consulted: results (incl. straggler draws) must equal a run with the
+  // model's other knobs set to arbitrary values.
+  trace::Trace t = FailureFleet();
+  ReplayOptions plain = SmallCluster("fair");
+  plain.straggler_probability = 0.1;
+  ReplayOptions with_knobs = plain;
+  with_knobs.failures.max_attempts = 2;
+  with_knobs.failures.retry_backoff_seconds = 99;
+  with_knobs.failures.failure_point = 0.9;
+  auto a = ReplayTrace(t, plain);
+  auto b = ReplayTrace(t, with_knobs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->outcomes.size(), b->outcomes.size());
+  for (size_t i = 0; i < a->outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->outcomes[i].latency, b->outcomes[i].latency);
+    EXPECT_EQ(a->outcomes[i].retries, 0);
+  }
+  EXPECT_EQ(b->failures.task_failures, 0);
+  EXPECT_EQ(b->failures.node_losses, 0);
+  EXPECT_EQ(b->failures.retries, 0);
+  EXPECT_DOUBLE_EQ(b->failures.failed_task_seconds, 0.0);
+}
+
+TEST(FailureTest, DeterministicForSeed) {
+  trace::Trace t = FailureFleet();
+  ReplayOptions options = SmallCluster("fair");
+  options.straggler_probability = 0.05;
+  options.failures.task_failure_probability = 0.1;
+  options.failures.node_loss_per_hour = 2.0;
+  options.seed = 77;
+  auto a = ReplayTrace(t, options);
+  auto b = ReplayTrace(t, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->outcomes.size(), b->outcomes.size());
+  for (size_t i = 0; i < a->outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->outcomes[i].latency, b->outcomes[i].latency);
+    EXPECT_EQ(a->outcomes[i].retries, b->outcomes[i].retries);
+  }
+  EXPECT_EQ(a->failures.task_failures, b->failures.task_failures);
+  EXPECT_EQ(a->failures.node_losses, b->failures.node_losses);
+  EXPECT_EQ(a->failures.tasks_lost_to_nodes, b->failures.tasks_lost_to_nodes);
+  EXPECT_DOUBLE_EQ(a->failures.failed_task_seconds,
+                   b->failures.failed_task_seconds);
+  // A different seed must actually change the draw.
+  options.seed = 78;
+  auto c = ReplayTrace(t, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->failures.task_failures, c->failures.task_failures);
+}
+
+TEST(FailureTest, RetriesRecoverFailedTasks) {
+  trace::Trace t = FailureFleet();
+  ReplayOptions options = SmallCluster("fifo");
+  options.failures.task_failure_probability = 0.2;
+  options.failures.max_attempts = 8;  // generous budget: everything finishes
+  options.failures.retry_backoff_seconds = 1.0;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes.size(), 40u);
+  EXPECT_EQ(result->unfinished_jobs, 0u);
+  EXPECT_GT(result->failures.task_failures, 0);
+  // Every failed attempt was eventually re-executed.
+  EXPECT_EQ(result->failures.retries, result->failures.task_failures);
+  EXPECT_GT(result->failures.failed_task_seconds, 0.0);
+  int64_t outcome_retries = 0;
+  for (const auto& o : result->outcomes) outcome_retries += o.retries;
+  EXPECT_EQ(outcome_retries, result->failures.retries);
+}
+
+TEST(FailureTest, CertainFailureKillsEveryJob) {
+  trace::Trace t = FailureFleet();
+  ReplayOptions options = SmallCluster("fifo");
+  options.failures.task_failure_probability = 1.0;
+  options.failures.max_attempts = 2;
+  options.failures.retry_backoff_seconds = 0.0;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outcomes.empty());
+  EXPECT_EQ(result->failures.failed_jobs, 40);
+  EXPECT_EQ(result->unfinished_jobs, 40u);
+  EXPECT_GT(result->failures.failed_task_seconds, 0.0);
+  // Wasted time never exceeds what the attempt budget allows.
+  EXPECT_GT(result->failures.task_failures, 0);
+}
+
+TEST(FailureTest, FailuresSlowJobsDown) {
+  trace::Trace t = FailureFleet();
+  ReplayOptions clean = SmallCluster("fair");
+  ReplayOptions faulty = clean;
+  faulty.failures.task_failure_probability = 0.25;
+  faulty.failures.max_attempts = 10;
+  auto a = ReplayTrace(t, clean);
+  auto b = ReplayTrace(t, faulty);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->outcomes.size(), 40u);
+  EXPECT_GT(b->MeanSlowdown(true), a->MeanSlowdown(true));
+}
+
+TEST(FailureTest, NodeLossKillsRunningTasks) {
+  trace::Trace t = FailureFleet();
+  ReplayOptions options = SmallCluster("fifo");
+  options.failures.node_loss_per_hour = 30.0;  // aggressive: ~1 per 2 min
+  options.failures.max_attempts = 10;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->failures.node_losses, 0);
+  EXPECT_GT(result->failures.tasks_lost_to_nodes, 0);
+  EXPECT_GT(result->failures.failed_task_seconds, 0.0);
+  EXPECT_EQ(result->failures.task_failures, 0);  // only node kills active
+  // Generous attempt budget: the work still completes.
+  EXPECT_EQ(result->outcomes.size(), 40u);
+}
+
+TEST(FailureTest, ComposesWithStragglersAndSpeculation) {
+  trace::Trace t = FailureFleet();
+  ReplayOptions options = SmallCluster("two-tier");
+  options.straggler_probability = 0.1;
+  options.speculative_execution = true;
+  options.failures.task_failure_probability = 0.1;
+  options.failures.node_loss_per_hour = 5.0;
+  options.failures.max_attempts = 12;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes.size(), 40u);
+  EXPECT_GT(result->failures.task_failures, 0);
+  EXPECT_GT(result->failures.retries, 0);
+  auto again = ReplayTrace(t, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(result->failures.retries, again->failures.retries);
+}
+
 }  // namespace
 }  // namespace swim::sim

@@ -1,7 +1,10 @@
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "gtest/gtest.h"
@@ -326,6 +329,246 @@ TEST(FrameworksTest, NamesAreStable) {
   EXPECT_EQ(FrameworkName(Framework::kPig), "Pig");
   EXPECT_EQ(FrameworkName(Framework::kOozie), "Oozie");
   EXPECT_EQ(FrameworkName(Framework::kNative), "Native");
+}
+
+// --- CSV dialect corners ------------------------------------------------
+
+TEST(TraceIoTest, AcceptsCrlfLineEndings) {
+  Trace trace;
+  trace.AddJob(MakeJob(1, 0));
+  trace.AddJob(MakeJob(2, 60));
+  std::string csv = TraceToCsv(trace);
+  std::string crlf;
+  for (char c : csv) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  auto parsed = TraceFromCsv(crlf);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->jobs()[0], trace.jobs()[0]);
+  EXPECT_EQ(parsed->jobs()[1], trace.jobs()[1]);
+}
+
+TEST(TraceIoTest, QuotedFieldsWithNewlinesAndEscapedQuotes) {
+  Trace trace;
+  JobRecord job = MakeJob(1, 0);
+  job.name = "line one\nline two";
+  job.input_path = "hdfs://a,\"b\"\npart=3";
+  trace.AddJob(job);
+  auto parsed = TraceFromCsv(TraceToCsv(trace));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->jobs()[0].name, job.name);
+  EXPECT_EQ(parsed->jobs()[0].input_path, job.input_path);
+}
+
+TEST(TraceIoTest, MetadataCommentsAfterHeader) {
+  // #key=value lines are honored anywhere, not just before the header.
+  std::string csv = std::string(kTraceCsvHeader) +
+                    "\n#name=LATE\n1,n,0,1,1,0,1,1,0,1,0,a,b\n#machines=64\n";
+  auto parsed = TraceFromCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->metadata().name, "LATE");
+  EXPECT_EQ(parsed->metadata().machines, 64);
+  ASSERT_EQ(parsed->size(), 1u);
+}
+
+TEST(TraceIoTest, RejectsMidFieldQuote) {
+  // A quote opening mid-field (ab"cd) or junk after a closing quote
+  // ("ab"cd) silently mis-parsed before; both must be malformed now.
+  std::string mid = std::string(kTraceCsvHeader) +
+                    "\n1,na\"me,0,1,1,0,1,1,0,1,0,a,b\n";
+  auto parsed = TraceFromCsv(mid);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+  std::string junk = std::string(kTraceCsvHeader) +
+                     "\n1,\"na\"me,0,1,1,0,1,1,0,1,0,a,b\n";
+  EXPECT_FALSE(TraceFromCsv(junk).ok());
+}
+
+// --- Lenient parse modes ------------------------------------------------
+
+TEST(TraceIoTest, ParseModeNamesRoundTrip) {
+  for (ParseMode mode :
+       {ParseMode::kStrict, ParseMode::kSkip, ParseMode::kRepair}) {
+    auto back = ParseModeFromName(ParseModeName(mode));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, mode);
+  }
+  EXPECT_FALSE(ParseModeFromName("lenient").ok());
+}
+
+// One good row, then: bad field count (3), non-numeric input_bytes (4),
+// negative duration (5), unbalanced quote (6), good (7).
+std::string MessyCsv() {
+  return std::string(kTraceCsvHeader) +
+         "\n1,n,0,1,1,0,1,1,0,1,0,a,b\n"
+         "2,n,0\n"
+         "3,n,0,1,zero,0,1,1,0,1,0,a,b\n"
+         "4,n,0,-9,1,0,1,1,0,1,0,a,b\n"
+         "5,\"n,0,1,1,0,1,1,0,1,0,a,b\n"
+         "6,n,6,1,1,0,1,1,0,1,0,a,b\n";
+}
+
+TEST(TraceIoTest, SkipModeCountsEachCategory) {
+  ParseReport report;
+  auto parsed =
+      TraceFromCsv(MessyCsv(), ParseOptions{ParseMode::kSkip, 64, 0}, &report);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);  // jobs 1 and 6
+  EXPECT_EQ(report.total_rows, 6u);
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.skipped, 4u);
+  EXPECT_EQ(report.repaired, 0u);
+  EXPECT_EQ(report.error_counts[size_t{0}], 1u);  // unbalanced quote
+  EXPECT_EQ(
+      report.error_counts[static_cast<size_t>(ParseErrorKind::kFieldCount)],
+      1u);
+  EXPECT_EQ(
+      report.error_counts[static_cast<size_t>(ParseErrorKind::kBadNumber)],
+      1u);
+  EXPECT_EQ(
+      report.error_counts[static_cast<size_t>(ParseErrorKind::kInvalidRecord)],
+      1u);
+  ASSERT_EQ(report.diagnostics.size(), 4u);
+  EXPECT_EQ(report.diagnostics[0].line, 3);
+  EXPECT_EQ(report.diagnostics[1].line, 4);
+  EXPECT_EQ(report.diagnostics[1].field, "input_bytes");
+  EXPECT_EQ(report.diagnostics[2].line, 5);
+  EXPECT_EQ(report.diagnostics[3].line, 6);
+}
+
+TEST(TraceIoTest, RepairModePatchesValueProblems) {
+  ParseReport report;
+  auto parsed = TraceFromCsv(MessyCsv(),
+                             ParseOptions{ParseMode::kRepair, 64, 0}, &report);
+  ASSERT_TRUE(parsed.ok());
+  // Value-level rows (3: bad number, 4: negative duration) are patched and
+  // kept; structural rows (2, 5) stay skipped.
+  EXPECT_EQ(parsed->size(), 4u);
+  EXPECT_EQ(report.accepted, 4u);
+  EXPECT_EQ(report.repaired, 2u);
+  EXPECT_EQ(report.skipped, 2u);
+  for (const JobRecord& job : parsed->jobs()) {
+    EXPECT_EQ(ValidateJobRecord(job), "");
+  }
+  // The patched fields land on the nearest valid value: zero.
+  const JobRecord* three = nullptr;
+  const JobRecord* four = nullptr;
+  for (const JobRecord& job : parsed->jobs()) {
+    if (job.job_id == 3) three = &job;
+    if (job.job_id == 4) four = &job;
+  }
+  ASSERT_NE(three, nullptr);
+  EXPECT_DOUBLE_EQ(three->input_bytes, 0.0);
+  ASSERT_NE(four, nullptr);
+  EXPECT_DOUBLE_EQ(four->duration, 0.0);
+}
+
+TEST(TraceIoTest, StrictModeReportsEarliestBadLine) {
+  // Strict failure must name the first bad line even when later shards
+  // (parallel parse) hit errors too.
+  for (int threads : {1, 8}) {
+    auto parsed = TraceFromCsv(MessyCsv(), threads);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+        << parsed.status().message();
+  }
+}
+
+TEST(TraceIoTest, ReportIdenticalAtAnyThreadCount) {
+  // Build a trace large enough to span several 4096-line parse shards,
+  // with errors sprinkled in.
+  std::string csv(kTraceCsvHeader);
+  csv += "\n";
+  for (int i = 1; i <= 10000; ++i) {
+    if (i % 97 == 0) {
+      csv += "bad line\n";
+    } else if (i % 131 == 0) {
+      csv += std::to_string(i) + ",n,0,1,nope,0,1,1,0,1,0,a,b\n";
+    } else {
+      csv += std::to_string(i) + ",n,0,1,1,0,1,1,0,1,0,a,b\n";
+    }
+  }
+  ParseReport serial, wide;
+  auto a = TraceFromCsv(csv, ParseOptions{ParseMode::kRepair, 32, 1}, &serial);
+  auto b = TraceFromCsv(csv, ParseOptions{ParseMode::kRepair, 32, 8}, &wide);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(TraceToCsv(*a), TraceToCsv(*b));
+  EXPECT_EQ(serial.ToString(), wide.ToString());
+  EXPECT_GT(serial.dropped_diagnostics, 0u);  // cap respected, counts exact
+  EXPECT_EQ(serial.diagnostics.size(), 32u);
+}
+
+TEST(TraceIoTest, NonFiniteNumbersAreBadNumbers) {
+  // strtod happily parses "inf"/"nan"/"1e999"; the trace schema has no
+  // meaning for them. Strict rejects; repair patches to 0 and keeps.
+  for (const char* hostile : {"inf", "-inf", "nan", "1e999"}) {
+    std::string csv = std::string(kTraceCsvHeader) + "\n1,n,0,1," + hostile +
+                      ",0,1,1,0,1,0,a,b\n";
+    EXPECT_FALSE(TraceFromCsv(csv).ok()) << hostile;
+    ParseReport report;
+    auto repaired =
+        TraceFromCsv(csv, ParseOptions{ParseMode::kRepair, 64, 0}, &report);
+    ASSERT_TRUE(repaired.ok()) << hostile;
+    ASSERT_EQ(repaired->size(), 1u) << hostile;
+    EXPECT_DOUBLE_EQ(repaired->jobs()[0].input_bytes, 0.0) << hostile;
+    EXPECT_EQ(
+        report.error_counts[static_cast<size_t>(ParseErrorKind::kBadNumber)],
+        1u)
+        << hostile;
+  }
+}
+
+// --- Lazy index thread safety (regression: data race) -------------------
+
+TEST(TraceTest, ConcurrentLazyIndexBuildIsSafe) {
+  // EnsurePathIndex/EnsureNameIndex used to mutate mutable members from
+  // const accessors with no synchronization; concurrent readers raced.
+  // Run under TSan this test fails on the old code.
+  Trace trace;
+  for (uint64_t id = 1; id <= 500; ++id) {
+    JobRecord job = MakeJob(id, static_cast<double>(500 - id));
+    job.input_path = "in/" + std::to_string(id % 17);
+    job.name = "name" + std::to_string(id % 11);
+    trace.AddJob(std::move(job));
+  }
+  const Trace& shared = trace;
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < 8; ++r) {
+    readers.emplace_back([&shared, &failures, r] {
+      // Mix of accessors that trigger sorting and both index builds.
+      if (shared.input_path_ids().size() != 500) ++failures;
+      if (shared.name_ids().size() != 500) ++failures;
+      if (shared.output_path_ids().size() != 500) ++failures;
+      if (shared.jobs().front().submit_time != 0.0) ++failures;
+      (void)r;
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TraceTest, CopyAndMovePreserveJobsAndMetadata) {
+  Trace trace;
+  trace.mutable_metadata().name = "copy-src";
+  trace.AddJob(MakeJob(2, 10));
+  trace.AddJob(MakeJob(1, 0));
+  (void)trace.input_path_ids();  // force lazy state before copying
+
+  Trace copy = trace;
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.metadata().name, "copy-src");
+  EXPECT_EQ(copy.jobs()[0].job_id, 1u);  // sortedness carried
+  EXPECT_EQ(copy.input_path_ids().size(), 2u);  // indexes rebuilt on demand
+
+  Trace moved = std::move(copy);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.metadata().name, "copy-src");
+  EXPECT_EQ(moved.name_ids().size(), 2u);
 }
 
 }  // namespace

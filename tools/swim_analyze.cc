@@ -1,11 +1,14 @@
 // swim_analyze: run the paper's full workload analysis over a trace.
 //
-//   swim_analyze <trace.csv>              analyze a CSV trace
+//   swim_analyze <trace.csv> [--on-error strict|skip|repair]
+//                                         analyze a CSV trace
 //   swim_analyze --workload <name> [n]    analyze a generated paper
 //                                         workload (optionally n jobs)
 //   swim_analyze --list                   list built-in workloads
 //
 // Output: the combined data/temporal/compute report (sections 4-6).
+// With --on-error skip|repair, malformed rows are dropped or patched and
+// an ingest report goes to stderr instead of the load aborting.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,7 +22,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: swim_analyze <trace.csv>\n"
+               "usage: swim_analyze <trace.csv> "
+               "[--on-error strict|skip|repair]\n"
                "       swim_analyze --workload <name> [jobs]\n"
                "       swim_analyze --list\n");
   return 2;
@@ -67,11 +71,42 @@ int main(int argc, char** argv) {
     }
     trace = *std::move(generated);
   } else {
-    auto loaded = trace::ReadTraceCsv(arg);
+    trace::ParseOptions parse_options;
+    for (int i = 2; i < argc; ++i) {
+      std::string flag = argv[i];
+      std::string value;
+      size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        value = flag.substr(eq + 1);
+        flag.resize(eq);
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+          return 2;
+        }
+        value = argv[++i];
+      }
+      if (flag == "--on-error") {
+        auto mode = trace::ParseModeFromName(value);
+        if (!mode.ok()) {
+          std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+          return 2;
+        }
+        parse_options.mode = *mode;
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+        return 2;
+      }
+    }
+    trace::ParseReport report;
+    auto loaded = trace::ReadTraceCsv(arg, parse_options, &report);
     if (!loaded.ok()) {
       std::fprintf(stderr, "cannot load %s: %s\n", arg.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
+    }
+    if (!report.clean()) {
+      std::fprintf(stderr, "%s\n", report.ToString().c_str());
     }
     trace = *std::move(loaded);
   }

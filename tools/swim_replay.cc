@@ -1,47 +1,102 @@
 // swim_replay: replay a trace on the simulated cluster.
 //
 //   swim_replay <trace.csv> [--nodes N] [--scheduler fifo|fair|two-tier]
-//               [--stragglers P]
+//               [--stragglers P] [--on-error strict|skip|repair]
+//               [--task-failures P] [--node-loss R] [--max-attempts N]
+//               [--retry-backoff S] [--failure-point F] [--seed S]
 //
 // Prints per-tier latency quantiles, utilization, and occupancy peaks -
-// what a scheduler experiment on a real cluster would report.
+// what a scheduler experiment on a real cluster would report. With
+// failure injection enabled (--task-failures / --node-loss) an extra
+// accounting block reports retries and wasted slot-seconds.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "common/units.h"
 #include "sim/replay.h"
 #include "trace/trace_io.h"
 
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: swim_replay <trace.csv> [--nodes N] "
+      "[--scheduler fifo|fair|two-tier] [--stragglers P]\n"
+      "                   [--on-error strict|skip|repair] "
+      "[--task-failures P] [--node-loss R]\n"
+      "                   [--max-attempts N] [--retry-backoff S] "
+      "[--failure-point F] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace swim;
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: swim_replay <trace.csv> [--nodes N] "
-                 "[--scheduler fifo|fair|two-tier] [--stragglers P]\n");
-    return 2;
-  }
+  if (argc < 2) return Usage();
+
   sim::ReplayOptions options;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  trace::ParseOptions parse_options;
+  for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
+    std::string value;
+    // Accept both `--flag value` and `--flag=value`.
+    size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag.resize(eq);
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+        return 2;
+      }
+      value = argv[++i];
+    }
     if (flag == "--nodes") {
-      options.cluster.nodes = std::atoi(argv[i + 1]);
+      options.cluster.nodes = std::atoi(value.c_str());
     } else if (flag == "--scheduler") {
-      options.scheduler = argv[i + 1];
+      options.scheduler = value;
     } else if (flag == "--stragglers") {
-      options.straggler_probability = std::atof(argv[i + 1]);
+      options.straggler_probability = std::atof(value.c_str());
+    } else if (flag == "--on-error") {
+      auto mode = trace::ParseModeFromName(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      parse_options.mode = *mode;
+    } else if (flag == "--task-failures") {
+      options.failures.task_failure_probability = std::atof(value.c_str());
+    } else if (flag == "--node-loss") {
+      options.failures.node_loss_per_hour = std::atof(value.c_str());
+    } else if (flag == "--max-attempts") {
+      options.failures.max_attempts = std::atoi(value.c_str());
+    } else if (flag == "--retry-backoff") {
+      options.failures.retry_backoff_seconds = std::atof(value.c_str());
+    } else if (flag == "--failure-point") {
+      options.failures.failure_point = std::atof(value.c_str());
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
     }
   }
 
-  auto trace = trace::ReadTraceCsv(argv[1]);
+  trace::ParseReport report;
+  auto trace = trace::ReadTraceCsv(argv[1], parse_options, &report);
   if (!trace.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
                  trace.status().ToString().c_str());
     return 1;
   }
+  if (!report.clean()) {
+    std::fprintf(stderr, "%s\n", report.ToString().c_str());
+  }
+
   auto result = sim::ReplayTrace(*trace, options);
   if (!result.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
@@ -71,6 +126,19 @@ int main(int argc, char** argv) {
   std::printf("  peak hourly occupancy: %.0f slots of %d\n", peak,
               options.cluster.total_map_slots() +
                   options.cluster.total_reduce_slots());
+  if (options.failures.enabled()) {
+    const sim::FailureStats& f = result->failures;
+    std::printf(
+        "  failures: %lld task, %lld node losses (%lld tasks lost), "
+        "%lld retries\n",
+        static_cast<long long>(f.task_failures),
+        static_cast<long long>(f.node_losses),
+        static_cast<long long>(f.tasks_lost_to_nodes),
+        static_cast<long long>(f.retries));
+    std::printf("  wasted by failures: %s slot-time, %lld jobs killed\n",
+                FormatDuration(f.failed_task_seconds).c_str(),
+                static_cast<long long>(f.failed_jobs));
+  }
   if (result->unfinished_jobs > 0) {
     std::printf("  WARNING: %zu jobs never completed\n",
                 result->unfinished_jobs);
