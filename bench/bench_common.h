@@ -2,6 +2,7 @@
 #define SWIM_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -43,12 +44,59 @@ inline void Banner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+/// One timed measurement: `warmups` untimed runs to populate caches / JIT
+/// the branch predictors / fault in pages, then `repeats` timed runs with
+/// the median reported. The CI bench-smoke gates compare these numbers
+/// against hard thresholds, so single-shot timing (one cold run deciding
+/// pass/fail) is not acceptable; the median is robust against one run
+/// absorbing a scheduling hiccup on shared runners, where a min would
+/// hide systematic noise and a mean would amplify it.
+struct BenchTiming {
+  double ops_per_sec = 0.0;
+  double median_seconds = 0.0;
+  int repeats = 1;
+  int warmups = 0;
+};
+
+/// Runs `body` `warmups` untimed + `repeats` timed times; returns the
+/// median-based throughput (ops / median seconds).
+template <typename Body>
+BenchTiming MedianOpsPerSec(size_t ops, int warmups, int repeats,
+                            Body&& body) {
+  using Clock = std::chrono::steady_clock;
+  for (int w = 0; w < warmups; ++w) body();
+  std::vector<double> seconds;
+  seconds.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    auto start = Clock::now();
+    body();
+    seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  // Lower median for even repeat counts: deterministic, slightly
+  // conservative-optimistic is fine since every row uses the same rule.
+  double median = seconds[(seconds.size() - 1) / 2];
+  BenchTiming timing;
+  timing.median_seconds = median;
+  timing.ops_per_sec = static_cast<double>(ops) / std::max(median, 1e-12);
+  timing.repeats = repeats;
+  timing.warmups = warmups;
+  return timing;
+}
+
 /// One machine-readable throughput measurement; serialized by
-/// BenchJsonWriter as {"name": ..., "jobs_per_sec": ..., "threads": ...}.
+/// BenchJsonWriter as {"name": ..., "jobs_per_sec": ..., "threads": ...,
+/// "median_seconds": ..., "repeats": ..., "warmups": ...}. The throughput
+/// field keeps its historical name so perf-trajectory tooling reads old
+/// and new files uniformly; repeats=1/warmups=0 marks a single-shot row.
 struct BenchJsonRow {
   std::string name;
   double jobs_per_sec = 0.0;
   int threads = 1;
+  double median_seconds = 0.0;
+  int repeats = 1;
+  int warmups = 0;
 };
 
 /// Collects BenchJsonRows and writes them as a JSON array, one object per
@@ -57,7 +105,12 @@ struct BenchJsonRow {
 class BenchJsonWriter {
  public:
   void Add(std::string name, double jobs_per_sec, int threads) {
-    rows_.push_back({std::move(name), jobs_per_sec, threads});
+    rows_.push_back({std::move(name), jobs_per_sec, threads, 0.0, 1, 0});
+  }
+
+  void Add(std::string name, const BenchTiming& timing, int threads) {
+    rows_.push_back({std::move(name), timing.ops_per_sec, threads,
+                     timing.median_seconds, timing.repeats, timing.warmups});
   }
 
   /// Writes the collected rows; no-op (success) when `path` is empty.
@@ -69,9 +122,12 @@ class BenchJsonWriter {
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(out,
                    "  {\"name\": \"%s\", \"jobs_per_sec\": %.3f, "
-                   "\"threads\": %d}%s\n",
+                   "\"threads\": %d, \"median_seconds\": %.6f, "
+                   "\"repeats\": %d, \"warmups\": %d}%s\n",
                    rows_[i].name.c_str(), rows_[i].jobs_per_sec,
-                   rows_[i].threads, i + 1 < rows_.size() ? "," : "");
+                   rows_[i].threads, rows_[i].median_seconds,
+                   rows_[i].repeats, rows_[i].warmups,
+                   i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     std::fclose(out);

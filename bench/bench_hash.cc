@@ -17,8 +17,10 @@
 //   lookup/std vs lookup/flat: read-only find() over a pre-built table,
 //                 probing with string_view (heterogeneous lookup).
 //
-// --json <path> emits {name, jobs_per_sec, threads} rows (ops/sec in the
-// jobs_per_sec field, matching the repo's BENCH_*.json convention).
+// --json <path> emits {name, jobs_per_sec, threads, median_seconds,
+// repeats, warmups} rows (ops/sec in the jobs_per_sec field, matching the
+// repo's BENCH_*.json convention); timing is median-of-N after warm-up
+// (bench_common.h MedianOpsPerSec) so the CI gate is not single-shot.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -33,12 +35,6 @@
 #include "common/random.h"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Zipf(s ~ 5/6) ranks via inverse-CDF over precomputed weights.
 std::vector<std::string> MakeZipfPathStream(size_t distinct, size_t draws,
@@ -64,18 +60,6 @@ std::vector<std::string> MakeZipfPathStream(size_t distinct, size_t draws,
   return stream;
 }
 
-/// Best-of-`repeats` wall time for `body()`; returns ops/sec.
-template <typename Body>
-double OpsPerSec(size_t ops, int repeats, Body&& body) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    auto start = Clock::now();
-    body();
-    best = std::min(best, SecondsSince(start));
-  }
-  return static_cast<double>(ops) / std::max(best, 1e-12);
-}
-
 double checksum_sink = 0.0;  // defeats dead-code elimination
 
 }  // namespace
@@ -88,20 +72,23 @@ int main(int argc, char** argv) {
   constexpr size_t kDistinct = 50000;
   constexpr size_t kDraws = 2000000;
   constexpr int kRepeats = 3;
+  constexpr int kWarmups = 1;
   Pcg32 rng(bench::kBenchSeed, /*stream=*/0x4a5f);
   std::vector<std::string> stream = MakeZipfPathStream(kDistinct, kDraws, rng);
 
   bench::Banner("Hash microbenchmark: Zipf path stream");
-  std::printf("  %zu draws over %zu distinct paths, best of %d runs\n\n",
-              kDraws, kDistinct, kRepeats);
+  std::printf(
+      "  %zu draws over %zu distinct paths, median of %d runs after "
+      "%d warm-up\n\n",
+      kDraws, kDistinct, kRepeats, kWarmups);
 
   // -- Counting (the ComputePopularity access pattern) --
-  double std_count = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming std_count = bench::MedianOpsPerSec(kDraws, kWarmups, kRepeats, [&] {
     std::unordered_map<std::string, double> counts;
     for (const std::string& key : stream) counts[key] += 1.0;
     checksum_sink += static_cast<double>(counts.size());
   });
-  double flat_count = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming flat_count = bench::MedianOpsPerSec(kDraws, kWarmups, kRepeats, [&] {
     FlatHashMap<std::string, double> counts;
     for (const std::string& key : stream) counts[key] += 1.0;
     checksum_sink += static_cast<double>(counts.size());
@@ -109,7 +96,7 @@ int main(int argc, char** argv) {
   // One-time id assignment (what Trace::EnsureIndexed pays at load)...
   StringInterner interner;
   std::vector<uint32_t> ids;
-  double intern_build = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming intern_build = bench::MedianOpsPerSec(kDraws, kWarmups, kRepeats, [&] {
     interner.Clear();
     ids.clear();
     ids.reserve(stream.size());
@@ -118,7 +105,7 @@ int main(int argc, char** argv) {
   });
   // ...then every analysis pass over the trace is id-indexed: no string
   // hashing or comparison at all (the data_access.cc pattern).
-  double interned_count = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming interned_count = bench::MedianOpsPerSec(kDraws, kWarmups, kRepeats, [&] {
     std::vector<double> counts(interner.size(), 0.0);
     for (uint32_t id : ids) counts[id] += 1.0;
     checksum_sink += static_cast<double>(counts.size());
@@ -131,7 +118,7 @@ int main(int argc, char** argv) {
     std_table[key] += 1.0;
     flat_table[key] += 1.0;
   }
-  double std_lookup = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming std_lookup = bench::MedianOpsPerSec(kDraws, kWarmups, kRepeats, [&] {
     double hits = 0.0;
     for (const std::string& key : stream) {
       auto it = std_table.find(key);
@@ -139,7 +126,7 @@ int main(int argc, char** argv) {
     }
     checksum_sink += hits;
   });
-  double flat_lookup = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming flat_lookup = bench::MedianOpsPerSec(kDraws, kWarmups, kRepeats, [&] {
     double hits = 0.0;
     for (const std::string& key : stream) {
       auto it = flat_table.find(std::string_view(key));
@@ -148,10 +135,11 @@ int main(int argc, char** argv) {
     checksum_sink += hits;
   });
 
-  auto report = [&](const char* name, double ops, double baseline) {
-    std::printf("  %-18s %12.0f ops/s   %.2fx vs std\n", name, ops,
-                ops / baseline);
-    json.Add(name, ops, 1);
+  auto report = [&](const char* name, const bench::BenchTiming& timing,
+                    const bench::BenchTiming& baseline) {
+    std::printf("  %-18s %12.0f ops/s   %.2fx vs std\n", name,
+                timing.ops_per_sec, timing.ops_per_sec / baseline.ops_per_sec);
+    json.Add(name, timing, 1);
   };
   report("count/std", std_count, std_count);
   report("count/flat", flat_count, std_count);
@@ -160,14 +148,16 @@ int main(int argc, char** argv) {
   report("lookup/std", std_lookup, std_lookup);
   report("lookup/flat", flat_lookup, std_lookup);
 
-  double best_count = std::max(flat_count, interned_count);
-  double speedup = best_count / std_count;
+  double best_count =
+      std::max(flat_count.ops_per_sec, interned_count.ops_per_sec);
+  double speedup = best_count / std_count.ops_per_sec;
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.2fx", speedup);
   bench::Banner("Speedup summary");
   bench::PaperVsMeasured("count path vs unordered_map<string,...>", ">= 2x",
                          buffer);
-  std::snprintf(buffer, sizeof(buffer), "%.2fx", flat_lookup / std_lookup);
+  std::snprintf(buffer, sizeof(buffer), "%.2fx",
+                flat_lookup.ops_per_sec / std_lookup.ops_per_sec);
   bench::PaperVsMeasured("lookup path vs unordered_map<string,...>", "> 1x",
                          buffer);
 

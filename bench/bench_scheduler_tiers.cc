@@ -4,11 +4,15 @@
 // under FIFO, fair, and two-tier scheduling and compare small-job latency
 // ("interactive latency ... durations of less than a minute") against
 // large-job completion.
+// All replay cells run concurrently through sim::RunSweep (results come
+// back in configuration order, bit-identical at any SWIM_THREADS), so the
+// ablation saturates cores instead of replaying policies one at a time.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/units.h"
-#include "sim/replay.h"
+#include "sim/sweep.h"
 
 int main() {
   using namespace swim;
@@ -27,19 +31,22 @@ int main() {
     std::printf("  %-9s %14s %14s %14s %16s %12s\n", "policy",
                 "small p50", "small p90", "small p99", "large p50",
                 "utilization");
-    for (const char* policy : {"fifo", "fair", "two-tier"}) {
-      sim::ReplayOptions options;
-      options.cluster.nodes = nodes;
-      options.scheduler = policy;
-      auto result = sim::ReplayTrace(t, options);
-      SWIM_CHECK_OK(result.status());
-      stats::SortedStats small_latencies = result->LatencyStats(true);
-      std::printf("  %-9s %14s %14s %14s %16s %11.0f%%\n", policy,
+    sim::ReplayOptions base;
+    base.cluster.nodes = nodes;
+    std::vector<sim::SweepConfig> configs = sim::SweepGrid(
+        t, base, {"fifo", "fair", "two-tier"}, {nodes}, {base.seed});
+    std::vector<StatusOr<sim::ReplayResult>> results = sim::RunSweep(configs);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      SWIM_CHECK_OK(results[i].status());
+      const sim::ReplayResult& result = *results[i];
+      stats::SortedStats small_latencies = result.LatencyStats(true);
+      std::printf("  %-9s %14s %14s %14s %16s %11.0f%%\n",
+                  configs[i].options.scheduler.c_str(),
                   FormatDuration(small_latencies.Quantile(0.5)).c_str(),
                   FormatDuration(small_latencies.Quantile(0.9)).c_str(),
                   FormatDuration(small_latencies.Quantile(0.99)).c_str(),
-                  FormatDuration(result->LatencyQuantile(false, 0.5)).c_str(),
-                  100 * result->utilization);
+                  FormatDuration(result.LatencyQuantile(false, 0.5)).c_str(),
+                  100 * result.utilization);
     }
   }
 
@@ -47,25 +54,33 @@ int main() {
   trace::Trace t = bench::BenchTrace("FB-2010", 15000);
   std::printf("  %-24s %14s %14s %16s\n", "straggler config", "small p50",
               "small p99", "p99+speculation");
-  for (double p : {0.0, 0.05, 0.2}) {
-    sim::ReplayOptions options;
-    options.cluster.nodes = 60;  // 3000 nodes scaled by the 15k/1.17M cap
-    options.scheduler = "fair";
-    options.straggler_probability = p;
-    options.straggler_factor = 8.0;
-    auto result = sim::ReplayTrace(t, options);
-    SWIM_CHECK_OK(result.status());
-    options.speculative_execution = true;
-    auto speculative = sim::ReplayTrace(t, options);
-    SWIM_CHECK_OK(speculative.status());
+  constexpr double kProbabilities[] = {0.0, 0.05, 0.2};
+  std::vector<sim::SweepConfig> configs;
+  for (double p : kProbabilities) {
+    for (bool speculative : {false, true}) {
+      sim::SweepConfig config;
+      config.trace = &t;
+      config.options.cluster.nodes = 60;  // 3000 scaled by the 15k/1.17M cap
+      config.options.scheduler = "fair";
+      config.options.straggler_probability = p;
+      config.options.straggler_factor = 8.0;
+      config.options.speculative_execution = speculative;
+      configs.push_back(std::move(config));
+    }
+  }
+  std::vector<StatusOr<sim::ReplayResult>> results = sim::RunSweep(configs);
+  for (size_t i = 0; i < results.size(); i += 2) {
+    SWIM_CHECK_OK(results[i].status());
+    SWIM_CHECK_OK(results[i + 1].status());
     char label[32];
-    std::snprintf(label, sizeof(label), "p=%.2f factor=8x", p);
-    stats::SortedStats small_latencies = result->LatencyStats(true);
+    std::snprintf(label, sizeof(label), "p=%.2f factor=8x",
+                  configs[i].options.straggler_probability);
+    stats::SortedStats small_latencies = results[i]->LatencyStats(true);
     std::printf("  %-24s %14s %14s %16s\n", label,
                 FormatDuration(small_latencies.Quantile(0.5)).c_str(),
                 FormatDuration(small_latencies.Quantile(0.99)).c_str(),
                 FormatDuration(
-                    speculative->LatencyQuantile(true, 0.99)).c_str());
+                    results[i + 1]->LatencyQuantile(true, 0.99)).c_str());
   }
   std::printf(
       "\nTakeaways vs paper: FIFO lets occasional huge jobs head-of-line\n"

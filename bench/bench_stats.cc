@@ -15,8 +15,10 @@
 //   quantile/sorted_once: SortedStats built once, then p50/p90/p99 reads
 //   quantile/per_call:  three stats::Quantile calls (copy + sort each)
 //
-// --json <path> emits {name, jobs_per_sec, threads} rows (ops/sec in the
-// jobs_per_sec field, matching the repo's BENCH_*.json convention).
+// --json <path> emits {name, jobs_per_sec, threads, median_seconds,
+// repeats, warmups} rows (ops/sec in the jobs_per_sec field, matching the
+// repo's BENCH_*.json convention); timing is median-of-N after warm-up
+// (bench_common.h MedianOpsPerSec) so the CI gates are not single-shot.
 //
 // Hard gates (ISSUE acceptance criteria): FFT >= 10x over the naive DFT at
 // n = 16384, alias sampling >= 2x over lower_bound at 1M draws.
@@ -34,24 +36,6 @@
 #include "stats/sampling.h"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Best-of-`repeats` wall time for `body()`; returns ops/sec.
-template <typename Body>
-double OpsPerSec(size_t ops, int repeats, Body&& body) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    auto start = Clock::now();
-    body();
-    best = std::min(best, SecondsSince(start));
-  }
-  return static_cast<double>(ops) / std::max(best, 1e-12);
-}
 
 double checksum_sink = 0.0;  // defeats dead-code elimination
 
@@ -80,34 +64,37 @@ int main(int argc, char** argv) {
   bench::Banner("Periodogram: FFT vs O(n^2) DFT");
   std::vector<double> series = NoisySeries(kFftLen, rng);
   std::vector<double> week = NoisySeries(kBluesteinLen, rng);
-  double fft_per_sec = OpsPerSec(1, 5, [&] {
+  bench::BenchTiming fft = bench::MedianOpsPerSec(1, 1, 5, [&] {
     checksum_sink += stats::Periodogram(series).front().power;
   });
-  double bluestein_per_sec = OpsPerSec(1, 5, [&] {
+  bench::BenchTiming bluestein = bench::MedianOpsPerSec(1, 1, 5, [&] {
     checksum_sink += stats::Periodogram(week).front().power;
   });
-  // The naive DFT takes seconds per transform; once is plenty.
-  double naive_per_sec = OpsPerSec(1, 1, [&] {
+  // The naive DFT takes seconds per transform; one timed run (no warm-up)
+  // is plenty - it is the baseline, not the gated side.
+  bench::BenchTiming naive = bench::MedianOpsPerSec(1, 0, 1, [&] {
     checksum_sink += stats::NaivePeriodogram(series).front().power;
   });
-  double fft_speedup = fft_per_sec / naive_per_sec;
+  double fft_speedup = fft.ops_per_sec / naive.ops_per_sec;
   std::printf("  %-22s %12.2f transforms/s (n=%zu)\n", "periodogram/fft",
-              fft_per_sec, kFftLen);
+              fft.ops_per_sec, kFftLen);
   std::printf("  %-22s %12.2f transforms/s (n=%zu)\n", "periodogram/bluestein",
-              bluestein_per_sec, kBluesteinLen);
+              bluestein.ops_per_sec, kBluesteinLen);
   std::printf("  %-22s %12.2f transforms/s (n=%zu)   fft: %.0fx\n",
-              "periodogram/naive", naive_per_sec, kFftLen, fft_speedup);
-  json.Add("periodogram/fft", fft_per_sec, 1);
-  json.Add("periodogram/bluestein", bluestein_per_sec, 1);
-  json.Add("periodogram/naive", naive_per_sec, 1);
+              "periodogram/naive", naive.ops_per_sec, kFftLen, fft_speedup);
+  json.Add("periodogram/fft", fft, 1);
+  json.Add("periodogram/bluestein", bluestein, 1);
+  json.Add("periodogram/naive", naive, 1);
 
   // -- Discrete sampling: alias table vs cumulative binary search --
   constexpr size_t kRanks = 50000;
   constexpr size_t kDraws = 1000000;
   constexpr int kRepeats = 5;
   bench::Banner("Discrete sampling: alias table vs lower_bound");
-  std::printf("  %zu draws over %zu Zipf(5/6) ranks, best of %d runs\n",
-              kDraws, kRanks, kRepeats);
+  std::printf(
+      "  %zu draws over %zu Zipf(5/6) ranks, median of %d runs after "
+      "1 warm-up\n",
+      kDraws, kRanks, kRepeats);
   std::vector<double> weights(kRanks);
   for (size_t r = 0; r < kRanks; ++r) {
     weights[r] = std::pow(static_cast<double>(r + 1), -5.0 / 6.0);
@@ -116,13 +103,13 @@ int main(int argc, char** argv) {
   double total = 0.0;
   for (size_t r = 0; r < kRanks; ++r) cumulative[r] = total += weights[r];
   stats::AliasTable table(weights);
-  double alias_per_sec = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming alias = bench::MedianOpsPerSec(kDraws, 1, kRepeats, [&] {
     Pcg32 draw_rng(bench::kBenchSeed, /*stream=*/0xa11a);
     size_t acc = 0;
     for (size_t i = 0; i < kDraws; ++i) acc += table.Sample(draw_rng);
     checksum_sink += static_cast<double>(acc);
   });
-  double search_per_sec = OpsPerSec(kDraws, kRepeats, [&] {
+  bench::BenchTiming search = bench::MedianOpsPerSec(kDraws, 1, kRepeats, [&] {
     Pcg32 draw_rng(bench::kBenchSeed, /*stream=*/0xa11a);
     size_t acc = 0;
     for (size_t i = 0; i < kDraws; ++i) {
@@ -134,35 +121,35 @@ int main(int argc, char** argv) {
     }
     checksum_sink += static_cast<double>(acc);
   });
-  double alias_speedup = alias_per_sec / search_per_sec;
-  std::printf("  %-22s %12.0f draws/s\n", "sample/alias", alias_per_sec);
+  double alias_speedup = alias.ops_per_sec / search.ops_per_sec;
+  std::printf("  %-22s %12.0f draws/s\n", "sample/alias", alias.ops_per_sec);
   std::printf("  %-22s %12.0f draws/s   alias: %.2fx\n", "sample/lower_bound",
-              search_per_sec, alias_speedup);
-  json.Add("sample/alias", alias_per_sec, 1);
-  json.Add("sample/lower_bound", search_per_sec, 1);
+              search.ops_per_sec, alias_speedup);
+  json.Add("sample/alias", alias, 1);
+  json.Add("sample/lower_bound", search, 1);
 
   // -- Quantiles: sort-once view vs per-call copy+sort --
   constexpr size_t kLatencies = 1000000;
   bench::Banner("Quantiles: SortedStats vs per-call Quantile");
   std::vector<double> latencies(kLatencies);
   for (double& v : latencies) v = rng.NextLognormal(3.0, 1.5);
-  double sorted_once_per_sec = OpsPerSec(1, 3, [&] {
+  bench::BenchTiming sorted_once = bench::MedianOpsPerSec(1, 1, 3, [&] {
     stats::SortedStats stats(latencies);
     checksum_sink +=
         stats.Quantile(0.5) + stats.Quantile(0.9) + stats.Quantile(0.99);
   });
-  double per_call_per_sec = OpsPerSec(1, 3, [&] {
+  bench::BenchTiming per_call = bench::MedianOpsPerSec(1, 1, 3, [&] {
     checksum_sink += stats::Quantile(latencies, 0.5) +
                      stats::Quantile(latencies, 0.9) +
                      stats::Quantile(latencies, 0.99);
   });
-  double quantile_speedup = sorted_once_per_sec / per_call_per_sec;
+  double quantile_speedup = sorted_once.ops_per_sec / per_call.ops_per_sec;
   std::printf("  %-22s %12.2f reports/s (n=%zu, 3 quantiles)\n",
-              "quantile/sorted_once", sorted_once_per_sec, kLatencies);
+              "quantile/sorted_once", sorted_once.ops_per_sec, kLatencies);
   std::printf("  %-22s %12.2f reports/s   sorted_once: %.2fx\n",
-              "quantile/per_call", per_call_per_sec, quantile_speedup);
-  json.Add("quantile/sorted_once", sorted_once_per_sec, 1);
-  json.Add("quantile/per_call", per_call_per_sec, 1);
+              "quantile/per_call", per_call.ops_per_sec, quantile_speedup);
+  json.Add("quantile/sorted_once", sorted_once, 1);
+  json.Add("quantile/per_call", per_call, 1);
 
   bench::Banner("Speedup summary");
   char buffer[64];

@@ -8,11 +8,12 @@
 // replays them dependency-aware under different schedulers to show how
 // per-job scheduling decisions compound across multi-stage queries.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/units.h"
 #include "frameworks/workflow.h"
-#include "sim/replay.h"
+#include "sim/sweep.h"
 #include "stats/descriptive.h"
 
 int main() {
@@ -76,20 +77,26 @@ int main() {
               background->size());
   std::printf("  %-9s %18s %18s %14s\n", "policy", "wf latency p50",
               "wf latency p90", "unfinished");
-  for (const char* policy : {"fifo", "fair", "two-tier"}) {
-    sim::ReplayOptions replay_options;
-    replay_options.cluster.nodes = 40;
-    replay_options.scheduler = policy;
-    replay_options.dependencies = wt->dependencies;
-    auto result = sim::ReplayTrace(combined, replay_options);
-    SWIM_CHECK_OK(result.status());
+  // The three policy replays of the combined trace run concurrently
+  // (sim::RunSweep, results in configuration order).
+  sim::ReplayOptions base_options;
+  base_options.cluster.nodes = 40;
+  base_options.dependencies = wt->dependencies;
+  std::vector<sim::SweepConfig> configs =
+      sim::SweepGrid(combined, base_options, {"fifo", "fair", "two-tier"},
+                     {base_options.cluster.nodes}, {base_options.seed});
+  std::vector<StatusOr<sim::ReplayResult>> results = sim::RunSweep(configs);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    const char* policy = configs[c].options.scheduler.c_str();
+    SWIM_CHECK_OK(results[c].status());
+    const sim::ReplayResult& result = *results[c];
     // Per-workflow end-to-end latency: last finish - first submit.
     std::unordered_map<uint64_t, double> first_submit, last_finish;
     std::unordered_map<uint64_t, double> submit_of;
     for (const auto& job : wt->trace.jobs()) {
       submit_of[job.job_id] = job.submit_time;
     }
-    for (const auto& outcome : result->outcomes) {
+    for (const auto& outcome : result.outcomes) {
       auto wf_it = wt->workflow_of.find(outcome.job_id);
       if (wf_it == wt->workflow_of.end()) continue;  // background job
       uint64_t w = wf_it->second;
@@ -108,7 +115,7 @@ int main() {
     std::printf("  %-9s %18s %18s %14zu\n", policy,
                 FormatDuration(latency_stats.Quantile(0.5)).c_str(),
                 FormatDuration(latency_stats.Quantile(0.9)).c_str(),
-                result->unfinished_jobs);
+                result.unfinished_jobs);
   }
 
   std::printf(

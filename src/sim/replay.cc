@@ -1,14 +1,42 @@
+// High-throughput discrete-event replay core. The engine that shipped
+// first (replay_legacy.cc, kept verbatim as a golden oracle) pushed every
+// task batch through a std::priority_queue, rebuilt the runnable set by
+// scanning all active jobs on each grant round, and advanced occupancy
+// buckets hour by hour. This rebuild keeps the simulation semantics
+// bit-identical - tests replay the same traces through both engines and
+// require equal results to the last bit - while removing every
+// per-event O(active) cost:
+//
+//   - Events flow through a calendar queue (sim/event_queue.h): amortized
+//     O(1) enqueue/dequeue with a d-ary-heap fallback for sparse tails,
+//     FIFO tie-break on the same seq counter the heap used.
+//   - The runnable set is maintained incrementally: jobs enter/leave
+//     per-kind runnable lists at their state transitions (arrival, batch
+//     launch, batch completion/failure, parent finish, retry backoff,
+//     job kill), so a grant round touches only genuinely runnable jobs.
+//     Scheduler tie-breaks are pinned to (submit time, job index) - see
+//     scheduler.cc - so list order cannot leak into policy decisions.
+//   - Jobs waiting out a retry backoff are parked in a small time-ordered
+//     heap and re-enter the runnable lists exactly when the grant round
+//     reaches retry_ready_time, replacing the per-grant timestamp check.
+//   - The active-job list (node-loss victim order) is an intrusive
+//     doubly-linked list in arrival order: O(1) unlink instead of the
+//     O(active) std::find + erase per job completion.
+//   - OccupancyMeter jumps idle gaps in one step instead of looping
+//     bucket-by-bucket across hours where nothing was running.
 #include "sim/replay.h"
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/random.h"
+#include "sim/event_queue.h"
 #include "stats/descriptive.h"
 
 namespace swim::sim {
 namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
 
 /// Tasks of a kind within a job are homogeneous, so a wave of them is
 /// simulated as one event carrying a count - this keeps event volume
@@ -34,14 +62,12 @@ struct Event {
   double unit_seconds = 0.0;
 };
 
-struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-/// Integrates busy-slot counts into hourly buckets.
+/// Integrates busy-slot counts into hourly buckets. An advance across H
+/// hours costs O(1) for the boundary slices plus one write per interior
+/// hour when slots are busy; an idle advance (busy_slots == 0) only
+/// extends the bucket vector. The hour arithmetic mirrors the retired
+/// per-slice loop exactly - same first-hour rounding, same exact
+/// (h+1)*3600 boundaries - so bucket contents stay bit-identical.
 class OccupancyMeter {
  public:
   void Advance(double now, int64_t busy_slots, std::vector<double>& buckets) {
@@ -49,16 +75,33 @@ class OccupancyMeter {
       last_time_ = std::max(last_time_, now);
       return;
     }
-    double t = last_time_;
-    while (t < now) {
-      size_t hour = static_cast<size_t>(t / 3600.0);
-      double hour_end = (static_cast<double>(hour) + 1.0) * 3600.0;
-      double slice_end = std::min(hour_end, now);
-      if (buckets.size() <= hour) buckets.resize(hour + 1, 0.0);
-      buckets[hour] += static_cast<double>(busy_slots) * (slice_end - t);
-      t = slice_end;
+    const size_t first_hour = static_cast<size_t>(last_time_ / 3600.0);
+    // Last hour the retired loop touched: the smallest h >= first_hour
+    // with (h+1)*3600 >= now. Seed from the rounded division and settle
+    // with exact-product comparisons (<= 2 steps).
+    size_t last_hour = std::max(first_hour,
+                                static_cast<size_t>(now / 3600.0));
+    while (last_hour > first_hour &&
+           static_cast<double>(last_hour) * 3600.0 >= now) {
+      --last_hour;
     }
-    busy_slot_seconds_ += static_cast<double>(busy_slots) * (now - last_time_);
+    while (static_cast<double>(last_hour + 1) * 3600.0 < now) ++last_hour;
+    if (buckets.size() <= last_hour) buckets.resize(last_hour + 1, 0.0);
+    const double busy = static_cast<double>(busy_slots);
+    if (first_hour == last_hour) {
+      buckets[first_hour] += busy * (now - last_time_);
+    } else {
+      buckets[first_hour] +=
+          busy * (static_cast<double>(first_hour + 1) * 3600.0 - last_time_);
+      if (busy_slots != 0) {
+        for (size_t h = first_hour + 1; h < last_hour; ++h) {
+          buckets[h] += busy * 3600.0;
+        }
+      }
+      buckets[last_hour] +=
+          busy * (now - static_cast<double>(last_hour) * 3600.0);
+    }
+    busy_slot_seconds_ += busy * (now - last_time_);
     last_time_ = now;
   }
 
@@ -90,6 +133,586 @@ Status ValidateFailureOptions(const FailureOptions& failures) {
     return InvalidArgumentError("retry_backoff_seconds must be >= 0");
   }
   return Status::Ok();
+}
+
+/// One replay run. Determinism contract: everything below is a pure
+/// function of (trace, options); the event order equals the retired
+/// priority-queue engine's order, the RNG streams are consumed at the
+/// same call sites, and scheduler decisions are independent of runnable
+/// list order (pinned tie-breaks), so results match ReplayTraceLegacy
+/// bit for bit.
+class ReplayEngine {
+ public:
+  ReplayEngine(const trace::Trace& trace, const ReplayOptions& options)
+      : trace_(trace),
+        options_(options),
+        failures_(options.failures),
+        rng_(options.seed, /*stream=*/0x51e9),
+        // Dedicated streams for the failure model: enabling/disabling
+        // failure injection must not perturb the straggler draws (and
+        // with the model disabled these are never consulted, keeping
+        // output bit-identical to pre-failure-model replays).
+        failure_rng_(options.seed, /*stream=*/0xfa11),
+        loss_rng_(options.seed, /*stream=*/0x10e5) {}
+
+  StatusOr<ReplayResult> Run();
+
+ private:
+  // --- Incremental runnable tracking ----------------------------------
+  //
+  // A job is runnable for a kind iff it has arrived, is not failed, is
+  // not parked on a retry backoff, has no unfinished parents, and has
+  // unlaunched tasks of that kind (reduces additionally wait for the map
+  // stage). Membership only changes at the transition points below, each
+  // of which calls Refresh - an idempotent O(1) resync of both lists.
+
+  void SetMembership(std::vector<size_t>& list, std::vector<size_t>& pos,
+                     size_t i, bool want) {
+    const bool have = pos[i] != kNone;
+    if (want == have) return;
+    if (want) {
+      pos[i] = list.size();
+      list.push_back(i);
+    } else {
+      const size_t p = pos[i];
+      const size_t last = list.back();
+      list[p] = last;
+      pos[last] = p;
+      list.pop_back();
+      pos[i] = kNone;
+    }
+  }
+
+  void Refresh(size_t i) {
+    const SimJob& job = jobs_[i];
+    const bool base = arrived_[i] != 0 && !job.failed && parked_[i] == 0 &&
+                      job.unfinished_parents == 0;
+    SetMembership(runnable_maps_, map_pos_, i,
+                  base && job.maps_launched < job.maps_total);
+    SetMembership(runnable_reduces_, reduce_pos_, i,
+                  base && job.maps_done() &&
+                      job.reduces_launched < job.reduces_total);
+  }
+
+  // --- Active list (arrival order, for node-loss victim selection) ----
+
+  void LinkActive(size_t i) {
+    in_active_[i] = 1;
+    active_prev_[i] = active_tail_;
+    active_next_[i] = kNone;
+    if (active_tail_ != kNone) {
+      active_next_[active_tail_] = i;
+    } else {
+      active_head_ = i;
+    }
+    active_tail_ = i;
+  }
+
+  void UnlinkActive(size_t i) {
+    if (!in_active_[i]) return;
+    in_active_[i] = 0;
+    const size_t prev = active_prev_[i];
+    const size_t next = active_next_[i];
+    if (prev != kNone) {
+      active_next_[prev] = next;
+    } else {
+      active_head_ = next;
+    }
+    if (next != kNone) {
+      active_prev_[next] = prev;
+    } else {
+      active_tail_ = prev;
+    }
+  }
+
+  // --- Engine steps ---------------------------------------------------
+
+  void PushEvent(double time, Event::Kind kind, size_t job_index,
+                 TaskKind task_kind, int64_t count, int attempt,
+                 double unit_seconds) {
+    queue_.Push(Event{time, seq_++, kind, job_index, task_kind, count,
+                      attempt, unit_seconds});
+  }
+
+  void LaunchBatch(size_t job_index, TaskKind kind, double now,
+                   int64_t count);
+  void HandleAttemptFailure(size_t job_index, TaskKind kind, int attempt,
+                            int64_t count, double now);
+  bool GrantKind(TaskKind kind, double now);
+  void ScheduleLoop(double now);
+
+  const trace::Trace& trace_;
+  const ReplayOptions& options_;
+  const FailureOptions& failures_;
+  Pcg32 rng_;
+  Pcg32 failure_rng_;
+  Pcg32 loss_rng_;
+
+  std::vector<SimJob> jobs_;
+  std::vector<std::vector<size_t>> children_;
+  std::unique_ptr<Scheduler> scheduler_;
+  CalendarEventQueue<Event> queue_;
+  uint64_t seq_ = 0;
+
+  int64_t total_map_slots_ = 0;
+  int64_t total_reduce_slots_ = 0;
+  int64_t free_map_slots_ = 0;
+  int64_t free_reduce_slots_ = 0;
+  SchedulerContext context_;
+  OccupancyMeter meter_;
+  std::vector<double> occupancy_slot_seconds_;
+  ReplayResult result_;
+
+  std::vector<uint8_t> arrived_;
+  std::vector<uint8_t> parked_;
+  std::vector<size_t> map_pos_;
+  std::vector<size_t> reduce_pos_;
+  std::vector<size_t> runnable_maps_;
+  std::vector<size_t> runnable_reduces_;
+
+  std::vector<uint8_t> in_active_;
+  std::vector<size_t> active_prev_;
+  std::vector<size_t> active_next_;
+  size_t active_head_ = kNone;
+  size_t active_tail_ = kNone;
+
+  /// (retry_ready_time, job index) min-heap of parked jobs. Entries are
+  /// lazy: retry_ready_time may have been raised after an entry was
+  /// pushed, in which case the stale entry re-parks itself on pop.
+  std::vector<std::pair<double, size_t>> parked_heap_;
+};
+
+// Launches `count` tasks of one kind as at most three events: a failing
+// portion (dies at failure_point of the duration), plus regular and
+// straggling completions of the survivors.
+void ReplayEngine::LaunchBatch(size_t job_index, TaskKind kind, double now,
+                               int64_t count) {
+  SimJob& job = jobs_[job_index];
+  double duration;
+  int attempt;
+  if (kind == TaskKind::kMap) {
+    job.maps_launched += count;
+    free_map_slots_ -= count;
+    if (!job.is_small) context_.large_running_maps += count;
+    duration = job.map_task_duration;
+    attempt = job.map_attempt;
+  } else {
+    job.reduces_launched += count;
+    free_reduce_slots_ -= count;
+    if (!job.is_small) context_.large_running_reduces += count;
+    duration = job.reduce_task_duration;
+    attempt = job.reduce_attempt;
+  }
+  int64_t& debt = kind == TaskKind::kMap ? job.map_relaunch_debt
+                                         : job.reduce_relaunch_debt;
+  int64_t relaunched = std::min(debt, count);
+  if (relaunched > 0) {
+    debt -= relaunched;
+    job.retries += relaunched;
+    result_.failures.retries += relaunched;
+  }
+  if (job.first_launch_time < 0.0) job.first_launch_time = now;
+
+  // Failure split first: an attempt that dies never straggles. Small
+  // batches draw per task; large batches use the deterministic expected
+  // count (same scheme the straggler model uses).
+  int64_t failing = 0;
+  if (failures_.task_failure_probability > 0.0) {
+    if (count <= 16) {
+      for (int64_t t = 0; t < count; ++t) {
+        if (failure_rng_.NextBernoulli(failures_.task_failure_probability)) {
+          ++failing;
+        }
+      }
+    } else {
+      failing = static_cast<int64_t>(std::llround(
+          static_cast<double>(count) * failures_.task_failure_probability));
+    }
+  }
+  if (failing > 0) {
+    double waste = duration * failures_.failure_point;
+    PushEvent(now + waste, Event::Kind::kTasksFailed, job_index, kind,
+              failing, attempt, waste);
+  }
+  const int64_t surviving = count - failing;
+  if (surviving <= 0) {
+    Refresh(job_index);
+    return;
+  }
+
+  int64_t stragglers = 0;
+  if (options_.straggler_probability > 0.0) {
+    if (surviving <= 16) {
+      for (int64_t t = 0; t < surviving; ++t) {
+        if (rng_.NextBernoulli(options_.straggler_probability)) ++stragglers;
+      }
+    } else {
+      stragglers = static_cast<int64_t>(std::llround(
+          static_cast<double>(surviving) * options_.straggler_probability));
+    }
+  }
+  if (surviving - stragglers > 0) {
+    PushEvent(now + duration, Event::Kind::kTasksDone, job_index, kind,
+              surviving - stragglers, attempt, duration);
+  }
+  if (stragglers > 0) {
+    double effective_factor = options_.straggler_factor;
+    int64_t siblings =
+        kind == TaskKind::kMap ? job.maps_total : job.reduces_total;
+    if (options_.speculative_execution && siblings >= 2) {
+      // Siblings expose the straggler; a backup launched when they
+      // finish completes at ~2x the normal duration.
+      effective_factor = std::min(effective_factor, 2.0);
+    }
+    PushEvent(now + duration * effective_factor, Event::Kind::kTasksDone,
+              job_index, kind, stragglers, attempt,
+              duration * effective_factor);
+  }
+  Refresh(job_index);
+}
+
+// A batch of `count` tasks failed at `attempt`: either the job's attempt
+// budget is exhausted (kill the job, Hadoop-style) or the tasks rejoin
+// the unlaunched pool at the next attempt level after a linear backoff.
+void ReplayEngine::HandleAttemptFailure(size_t job_index, TaskKind kind,
+                                        int attempt, int64_t count,
+                                        double now) {
+  SimJob& job = jobs_[job_index];
+  if (job.failed) return;
+  if (attempt >= failures_.max_attempts) {
+    job.failed = true;
+    ++result_.failures.failed_jobs;
+    UnlinkActive(job_index);
+    Refresh(job_index);
+    return;
+  }
+  int next_attempt = attempt + 1;
+  if (kind == TaskKind::kMap) {
+    job.map_attempt = std::max(job.map_attempt, next_attempt);
+    job.map_relaunch_debt += count;
+  } else {
+    job.reduce_attempt = std::max(job.reduce_attempt, next_attempt);
+    job.reduce_relaunch_debt += count;
+  }
+  double ready =
+      now + failures_.retry_backoff_seconds * static_cast<double>(attempt);
+  if (ready > job.retry_ready_time) job.retry_ready_time = ready;
+  // The kWake event is pushed exactly as the retired engine did (even
+  // when a later wake already covers this job): it re-enters the grant
+  // loop at the backoff expiry, and skipping it would shift the shared
+  // seq counter and change FIFO tie-breaks downstream.
+  if (ready > now) {
+    PushEvent(ready, Event::Kind::kWake, job_index, kind, 0, 1, 0.0);
+  }
+  if (job.retry_ready_time > now && !parked_[job_index]) {
+    parked_[job_index] = 1;
+    parked_heap_.emplace_back(job.retry_ready_time, job_index);
+    std::push_heap(parked_heap_.begin(), parked_heap_.end(),
+                   std::greater<>());
+    Refresh(job_index);
+  }
+}
+
+bool ReplayEngine::GrantKind(TaskKind kind, double now) {
+  int64_t& free_slots =
+      kind == TaskKind::kMap ? free_map_slots_ : free_reduce_slots_;
+  if (free_slots <= 0) return false;
+  const std::vector<size_t>& runnable =
+      kind == TaskKind::kMap ? runnable_maps_ : runnable_reduces_;
+  if (runnable.empty()) return false;
+  int64_t total_slots =
+      kind == TaskKind::kMap ? total_map_slots_ : total_reduce_slots_;
+  int pick = scheduler_->PickJob(jobs_, runnable, kind,
+                                 static_cast<int>(total_slots), context_);
+  if (pick < 0) return false;
+  SimJob& job = jobs_[pick];
+  int64_t remaining = kind == TaskKind::kMap
+                          ? job.maps_total - job.maps_launched
+                          : job.reduces_total - job.reduces_launched;
+  // Fair share per grant round: no single pick absorbs every free slot
+  // while other jobs are runnable.
+  int64_t batch =
+      std::max<int64_t>(1, free_slots / static_cast<int64_t>(
+                                            runnable.size()));
+  batch = std::min({batch, remaining, free_slots});
+  batch = std::min(
+      batch, scheduler_->BatchLimit(jobs_, pick, kind,
+                                    static_cast<int>(total_slots), context_));
+  if (batch < 1) return false;
+  LaunchBatch(static_cast<size_t>(pick), kind, now, batch);
+  return true;
+}
+
+void ReplayEngine::ScheduleLoop(double now) {
+  context_.now = now;
+  // Unpark every job whose retry backoff has expired before granting, so
+  // the runnable lists equal the retired engine's per-grant
+  // retry_ready_time <= now filter even when the expiry coincides with
+  // another event at the same timestamp.
+  while (!parked_heap_.empty() && parked_heap_.front().first <= now) {
+    std::pop_heap(parked_heap_.begin(), parked_heap_.end(),
+                  std::greater<>());
+    size_t job_index = parked_heap_.back().second;
+    parked_heap_.pop_back();
+    if (!parked_[job_index]) continue;  // stale entry
+    if (jobs_[job_index].retry_ready_time <= now) {
+      parked_[job_index] = 0;
+      Refresh(job_index);
+    } else {
+      // The backoff was extended after this entry was pushed; re-park at
+      // the current expiry.
+      parked_heap_.emplace_back(jobs_[job_index].retry_ready_time,
+                                job_index);
+      std::push_heap(parked_heap_.begin(), parked_heap_.end(),
+                     std::greater<>());
+    }
+  }
+  bool granted = true;
+  while (granted) {
+    granted = false;
+    granted |= GrantKind(TaskKind::kMap, now);
+    granted |= GrantKind(TaskKind::kReduce, now);
+  }
+}
+
+StatusOr<ReplayResult> ReplayEngine::Run() {
+  if (trace_.empty()) return InvalidArgumentError("empty trace");
+  if (options_.cluster.nodes <= 0 ||
+      options_.cluster.map_slots_per_node <= 0 ||
+      options_.cluster.reduce_slots_per_node < 0) {
+    return InvalidArgumentError("invalid cluster configuration");
+  }
+  if (options_.max_tasks_per_job < 1) {
+    return InvalidArgumentError("max_tasks_per_job must be >= 1");
+  }
+  Status failure_status = ValidateFailureOptions(failures_);
+  if (!failure_status.ok()) return failure_status;
+
+  scheduler_ = MakeScheduler(options_.scheduler);
+
+  // Build the job table (trace.jobs() is submit-sorted).
+  jobs_.reserve(trace_.size());
+  for (const auto& record : trace_.jobs()) {
+    SimJob job;
+    job.record = &record;
+    job.submit_time = record.submit_time;
+    job.is_small = record.TotalBytes() < options_.small_job_bytes;
+    job.maps_total = std::min(std::max<int64_t>(record.map_tasks, 1),
+                              options_.max_tasks_per_job);
+    job.map_task_duration = std::max(
+        record.map_task_seconds / static_cast<double>(job.maps_total), 1e-3);
+    job.reduces_total =
+        std::min(record.reduce_tasks, options_.max_tasks_per_job);
+    if (job.reduces_total > 0) {
+      job.reduce_task_duration =
+          std::max(record.reduce_task_seconds /
+                       static_cast<double>(job.reduces_total),
+                   1e-3);
+    }
+    jobs_.push_back(job);
+  }
+
+  // Workflow dependencies: resolve job ids to indices and wire parent
+  // counters / child lists.
+  children_.assign(jobs_.size(), {});
+  if (!options_.dependencies.empty()) {
+    FlatHashMap<uint64_t, size_t> index_of;
+    index_of.reserve(jobs_.size());
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      index_of[jobs_[i].record->job_id] = i;
+    }
+    for (const auto& [child_id, parent_ids] : options_.dependencies) {
+      auto child_it = index_of.find(child_id);
+      if (child_it == index_of.end()) {
+        return InvalidArgumentError("dependency references unknown job " +
+                                    std::to_string(child_id));
+      }
+      for (uint64_t parent_id : parent_ids) {
+        auto parent_it = index_of.find(parent_id);
+        if (parent_it == index_of.end()) {
+          return InvalidArgumentError("dependency references unknown job " +
+                                      std::to_string(parent_id));
+        }
+        ++jobs_[child_it->second].unfinished_parents;
+        children_[parent_it->second].push_back(child_it->second);
+      }
+    }
+  }
+
+  const size_t n = jobs_.size();
+  arrived_.assign(n, 0);
+  parked_.assign(n, 0);
+  map_pos_.assign(n, kNone);
+  reduce_pos_.assign(n, kNone);
+  in_active_.assign(n, 0);
+  active_prev_.assign(n, kNone);
+  active_next_.assign(n, kNone);
+
+  for (size_t i = 0; i < n; ++i) {
+    PushEvent(jobs_[i].submit_time, Event::Kind::kArrival, i,
+              TaskKind::kMap, 0, 1, 0.0);
+  }
+
+  total_map_slots_ = options_.cluster.total_map_slots();
+  total_reduce_slots_ = options_.cluster.total_reduce_slots();
+  free_map_slots_ = total_map_slots_;
+  free_reduce_slots_ = total_reduce_slots_;
+
+  result_.scheduler = scheduler_->name();
+
+  double first_submit = jobs_.front().submit_time;
+  const double loss_rate_per_second = failures_.node_loss_per_hour / 3600.0;
+  if (loss_rate_per_second > 0.0) {
+    PushEvent(first_submit + loss_rng_.NextExponential(loss_rate_per_second),
+              Event::Kind::kNodeLoss, 0, TaskKind::kMap, 0, 1, 0.0);
+  }
+
+  double last_finish = 0.0;
+  while (!queue_.empty()) {
+    Event event = queue_.Pop();
+    int64_t busy = (total_map_slots_ - free_map_slots_) +
+                   (total_reduce_slots_ - free_reduce_slots_);
+    meter_.Advance(event.time, busy, occupancy_slot_seconds_);
+
+    SimJob& job = jobs_[event.job_index];
+    switch (event.kind) {
+      case Event::Kind::kArrival:
+        arrived_[event.job_index] = 1;
+        LinkActive(event.job_index);
+        Refresh(event.job_index);
+        break;
+      case Event::Kind::kWake:
+        break;  // only here to re-enter the grant loop after a backoff
+      case Event::Kind::kNodeLoss: {
+        ++result_.failures.node_losses;
+        // One node's worth of running slots dies. Victims are drawn from
+        // active jobs in arrival order (deterministic); the kill is
+        // charged when the affected wave completes, matching Hadoop's
+        // heartbeat-timeout detection of lost TaskTrackers.
+        int64_t map_quota = options_.cluster.map_slots_per_node;
+        int64_t reduce_quota = options_.cluster.reduce_slots_per_node;
+        for (size_t index = active_head_; index != kNone;
+             index = active_next_[index]) {
+          SimJob& victim = jobs_[index];
+          if (map_quota > 0) {
+            int64_t take = std::min(
+                map_quota, victim.maps_running() - victim.kill_pending_maps);
+            if (take > 0) {
+              victim.kill_pending_maps += take;
+              map_quota -= take;
+            }
+          }
+          if (reduce_quota > 0) {
+            int64_t take = std::min(reduce_quota,
+                                    victim.reduces_running() -
+                                        victim.kill_pending_reduces);
+            if (take > 0) {
+              victim.kill_pending_reduces += take;
+              reduce_quota -= take;
+            }
+          }
+          if (map_quota == 0 && reduce_quota == 0) break;
+        }
+        // Self-reschedule while the simulation still has work; stop when
+        // this was the last event so the loop terminates.
+        if (!queue_.empty()) {
+          PushEvent(event.time + loss_rng_.NextExponential(
+                                     loss_rate_per_second),
+                    Event::Kind::kNodeLoss, 0, TaskKind::kMap, 0, 1, 0.0);
+        }
+        break;
+      }
+      case Event::Kind::kTasksFailed: {
+        if (event.task_kind == TaskKind::kMap) {
+          job.maps_launched -= event.count;
+          free_map_slots_ += event.count;
+          if (!job.is_small) context_.large_running_maps -= event.count;
+          // Tasks that died on their own also satisfy any pending
+          // node-loss kill (they no longer exist to be killed later).
+          job.kill_pending_maps =
+              std::max<int64_t>(0, job.kill_pending_maps - event.count);
+        } else {
+          job.reduces_launched -= event.count;
+          free_reduce_slots_ += event.count;
+          if (!job.is_small) context_.large_running_reduces -= event.count;
+          job.kill_pending_reduces =
+              std::max<int64_t>(0, job.kill_pending_reduces - event.count);
+        }
+        result_.failures.task_failures += event.count;
+        result_.failures.failed_task_seconds +=
+            static_cast<double>(event.count) * event.unit_seconds;
+        context_.failed_attempts += event.count;
+        HandleAttemptFailure(event.job_index, event.task_kind, event.attempt,
+                             event.count, event.time);
+        Refresh(event.job_index);
+        break;
+      }
+      case Event::Kind::kTasksDone: {
+        int64_t killed = 0;
+        if (event.task_kind == TaskKind::kMap) {
+          if (job.kill_pending_maps > 0) {
+            killed = std::min(event.count, job.kill_pending_maps);
+            job.kill_pending_maps -= killed;
+          }
+          job.maps_finished += event.count - killed;
+          job.maps_launched -= killed;
+          free_map_slots_ += event.count;
+          if (!job.is_small) context_.large_running_maps -= event.count;
+        } else {
+          if (job.kill_pending_reduces > 0) {
+            killed = std::min(event.count, job.kill_pending_reduces);
+            job.kill_pending_reduces -= killed;
+          }
+          job.reduces_finished += event.count - killed;
+          job.reduces_launched -= killed;
+          free_reduce_slots_ += event.count;
+          if (!job.is_small) context_.large_running_reduces -= event.count;
+        }
+        if (killed > 0) {
+          result_.failures.tasks_lost_to_nodes += killed;
+          result_.failures.failed_task_seconds +=
+              static_cast<double>(killed) * event.unit_seconds;
+          context_.failed_attempts += killed;
+          HandleAttemptFailure(event.job_index, event.task_kind,
+                               event.attempt, killed, event.time);
+        }
+        if (!job.failed && job.Finished() && job.finish_time < 0.0) {
+          job.finish_time = event.time;
+          last_finish = std::max(last_finish, event.time);
+          UnlinkActive(event.job_index);
+          for (size_t child : children_[event.job_index]) {
+            --jobs_[child].unfinished_parents;
+            Refresh(child);
+          }
+          JobOutcome outcome;
+          outcome.job_id = job.record->job_id;
+          outcome.submit_time = job.submit_time;
+          outcome.latency = job.finish_time - job.submit_time;
+          outcome.ideal_latency = job.IdealLatency();
+          outcome.is_small = job.is_small;
+          outcome.retries = job.retries;
+          result_.outcomes.push_back(outcome);
+        }
+        Refresh(event.job_index);
+        break;
+      }
+    }
+    ScheduleLoop(event.time);
+  }
+
+  for (const SimJob& job : jobs_) {
+    if (job.finish_time < 0.0) ++result_.unfinished_jobs;
+  }
+  result_.makespan = std::max(0.0, last_finish - first_submit);
+  result_.hourly_occupancy.reserve(occupancy_slot_seconds_.size());
+  for (double slot_seconds : occupancy_slot_seconds_) {
+    result_.hourly_occupancy.push_back(slot_seconds / 3600.0);
+  }
+  double capacity =
+      static_cast<double>(total_map_slots_ + total_reduce_slots_) *
+      std::max(result_.makespan, 1.0);
+  result_.utilization = meter_.busy_slot_seconds() / capacity;
+  return std::move(result_);
 }
 
 }  // namespace
@@ -128,411 +751,11 @@ size_t ReplayResult::CountJobs(bool small_jobs) const {
 
 StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
                                    const ReplayOptions& options) {
-  if (trace.empty()) return InvalidArgumentError("empty trace");
-  if (options.cluster.nodes <= 0 || options.cluster.map_slots_per_node <= 0 ||
-      options.cluster.reduce_slots_per_node < 0) {
-    return InvalidArgumentError("invalid cluster configuration");
-  }
-  if (options.max_tasks_per_job < 1) {
-    return InvalidArgumentError("max_tasks_per_job must be >= 1");
-  }
-  Status failure_status = ValidateFailureOptions(options.failures);
-  if (!failure_status.ok()) return failure_status;
-  const FailureOptions& failures = options.failures;
-
-  std::unique_ptr<Scheduler> scheduler = MakeScheduler(options.scheduler);
-  Pcg32 rng(options.seed, /*stream=*/0x51e9);
-  // Dedicated streams for the failure model: enabling/disabling failure
-  // injection must not perturb the straggler draws (and with the model
-  // disabled these are never consulted, keeping output bit-identical to
-  // pre-failure-model replays).
-  Pcg32 failure_rng(options.seed, /*stream=*/0xfa11);
-  Pcg32 loss_rng(options.seed, /*stream=*/0x10e5);
-
-  // Build the job table (trace.jobs() is submit-sorted).
-  std::vector<SimJob> jobs;
-  jobs.reserve(trace.size());
-  for (const auto& record : trace.jobs()) {
-    SimJob job;
-    job.record = &record;
-    job.submit_time = record.submit_time;
-    job.is_small = record.TotalBytes() < options.small_job_bytes;
-    job.maps_total = std::min(std::max<int64_t>(record.map_tasks, 1),
-                              options.max_tasks_per_job);
-    job.map_task_duration = std::max(
-        record.map_task_seconds / static_cast<double>(job.maps_total), 1e-3);
-    job.reduces_total =
-        std::min(record.reduce_tasks, options.max_tasks_per_job);
-    if (job.reduces_total > 0) {
-      job.reduce_task_duration =
-          std::max(record.reduce_task_seconds /
-                       static_cast<double>(job.reduces_total),
-                   1e-3);
-    }
-    jobs.push_back(job);
-  }
-
-  // Workflow dependencies: resolve job ids to indices and wire parent
-  // counters / child lists.
-  std::vector<std::vector<size_t>> children(jobs.size());
-  if (!options.dependencies.empty()) {
-    FlatHashMap<uint64_t, size_t> index_of;
-    index_of.reserve(jobs.size());
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      index_of[jobs[i].record->job_id] = i;
-    }
-    for (const auto& [child_id, parent_ids] : options.dependencies) {
-      auto child_it = index_of.find(child_id);
-      if (child_it == index_of.end()) {
-        return InvalidArgumentError("dependency references unknown job " +
-                                    std::to_string(child_id));
-      }
-      for (uint64_t parent_id : parent_ids) {
-        auto parent_it = index_of.find(parent_id);
-        if (parent_it == index_of.end()) {
-          return InvalidArgumentError("dependency references unknown job " +
-                                      std::to_string(parent_id));
-        }
-        ++jobs[child_it->second].unfinished_parents;
-        children[parent_it->second].push_back(child_it->second);
-      }
-    }
-  }
-
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
-  uint64_t seq = 0;
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    queue.push(Event{jobs[i].submit_time, seq++, Event::Kind::kArrival, i,
-                     TaskKind::kMap, 0, 1, 0.0});
-  }
-
-  const int64_t total_map_slots = options.cluster.total_map_slots();
-  const int64_t total_reduce_slots = options.cluster.total_reduce_slots();
-  int64_t free_map_slots = total_map_slots;
-  int64_t free_reduce_slots = total_reduce_slots;
-  SchedulerContext context;
-  std::vector<size_t> active;  // arrived, unfinished job indices
-  OccupancyMeter meter;
-  std::vector<double> occupancy_slot_seconds;
-
-  ReplayResult result;
-  result.scheduler = scheduler->name();
-
-  double first_submit = jobs.front().submit_time;
-  const double loss_rate_per_second = failures.node_loss_per_hour / 3600.0;
-  if (loss_rate_per_second > 0.0) {
-    queue.push(Event{
-        first_submit + loss_rng.NextExponential(loss_rate_per_second), seq++,
-        Event::Kind::kNodeLoss, 0, TaskKind::kMap, 0, 1, 0.0});
-  }
-
-  // Launches `count` tasks of one kind as at most three events: a failing
-  // portion (dies at failure_point of the duration), plus regular and
-  // straggling completions of the survivors.
-  auto launch_batch = [&](size_t job_index, TaskKind kind, double now,
-                          int64_t count) {
-    SimJob& job = jobs[job_index];
-    double duration;
-    int attempt;
-    if (kind == TaskKind::kMap) {
-      job.maps_launched += count;
-      free_map_slots -= count;
-      if (!job.is_small) context.large_running_maps += count;
-      duration = job.map_task_duration;
-      attempt = job.map_attempt;
-    } else {
-      job.reduces_launched += count;
-      free_reduce_slots -= count;
-      if (!job.is_small) context.large_running_reduces += count;
-      duration = job.reduce_task_duration;
-      attempt = job.reduce_attempt;
-    }
-    int64_t& debt = kind == TaskKind::kMap ? job.map_relaunch_debt
-                                           : job.reduce_relaunch_debt;
-    int64_t relaunched = std::min(debt, count);
-    if (relaunched > 0) {
-      debt -= relaunched;
-      job.retries += relaunched;
-      result.failures.retries += relaunched;
-    }
-    if (job.first_launch_time < 0.0) job.first_launch_time = now;
-
-    // Failure split first: an attempt that dies never straggles. Small
-    // batches draw per task; large batches use the deterministic expected
-    // count (same scheme the straggler model uses).
-    int64_t failing = 0;
-    if (failures.task_failure_probability > 0.0) {
-      if (count <= 16) {
-        for (int64_t t = 0; t < count; ++t) {
-          if (failure_rng.NextBernoulli(failures.task_failure_probability)) {
-            ++failing;
-          }
-        }
-      } else {
-        failing = static_cast<int64_t>(std::llround(
-            static_cast<double>(count) * failures.task_failure_probability));
-      }
-    }
-    if (failing > 0) {
-      double waste = duration * failures.failure_point;
-      queue.push(Event{now + waste, seq++, Event::Kind::kTasksFailed,
-                       job_index, kind, failing, attempt, waste});
-    }
-    const int64_t surviving = count - failing;
-    if (surviving <= 0) return;
-
-    int64_t stragglers = 0;
-    if (options.straggler_probability > 0.0) {
-      if (surviving <= 16) {
-        for (int64_t t = 0; t < surviving; ++t) {
-          if (rng.NextBernoulli(options.straggler_probability)) ++stragglers;
-        }
-      } else {
-        stragglers = static_cast<int64_t>(std::llround(
-            static_cast<double>(surviving) * options.straggler_probability));
-      }
-    }
-    if (surviving - stragglers > 0) {
-      queue.push(Event{now + duration, seq++, Event::Kind::kTasksDone,
-                       job_index, kind, surviving - stragglers, attempt,
-                       duration});
-    }
-    if (stragglers > 0) {
-      double effective_factor = options.straggler_factor;
-      int64_t siblings =
-          kind == TaskKind::kMap ? job.maps_total : job.reduces_total;
-      if (options.speculative_execution && siblings >= 2) {
-        // Siblings expose the straggler; a backup launched when they
-        // finish completes at ~2x the normal duration.
-        effective_factor = std::min(effective_factor, 2.0);
-      }
-      queue.push(Event{now + duration * effective_factor, seq++,
-                       Event::Kind::kTasksDone, job_index, kind, stragglers,
-                       attempt, duration * effective_factor});
-    }
-  };
-
-  // A batch of `count` tasks failed at `attempt`: either the job's attempt
-  // budget is exhausted (kill the job, Hadoop-style) or the tasks rejoin
-  // the unlaunched pool at the next attempt level after a linear backoff.
-  auto handle_attempt_failure = [&](size_t job_index, TaskKind kind,
-                                    int attempt, int64_t count, double now) {
-    SimJob& job = jobs[job_index];
-    if (job.failed) return;
-    if (attempt >= failures.max_attempts) {
-      job.failed = true;
-      ++result.failures.failed_jobs;
-      auto it = std::find(active.begin(), active.end(), job_index);
-      if (it != active.end()) active.erase(it);
-      return;
-    }
-    int next_attempt = attempt + 1;
-    if (kind == TaskKind::kMap) {
-      job.map_attempt = std::max(job.map_attempt, next_attempt);
-      job.map_relaunch_debt += count;
-    } else {
-      job.reduce_attempt = std::max(job.reduce_attempt, next_attempt);
-      job.reduce_relaunch_debt += count;
-    }
-    double ready =
-        now + failures.retry_backoff_seconds * static_cast<double>(attempt);
-    if (ready > job.retry_ready_time) job.retry_ready_time = ready;
-    if (ready > now) {
-      queue.push(Event{ready, seq++, Event::Kind::kWake, job_index, kind, 0,
-                       1, 0.0});
-    }
-  };
-
-  std::vector<size_t> runnable;  // reused scratch buffer
-  auto grant_kind = [&](TaskKind kind, double now) -> bool {
-    int64_t& free_slots =
-        kind == TaskKind::kMap ? free_map_slots : free_reduce_slots;
-    int64_t total_slots =
-        kind == TaskKind::kMap ? total_map_slots : total_reduce_slots;
-    if (free_slots <= 0) return false;
-    runnable.clear();
-    for (size_t index : active) {
-      // Jobs waiting out a retry backoff receive no grants; a kWake event
-      // at retry_ready_time re-runs this loop.
-      if (jobs[index].HasRunnable(kind) &&
-          jobs[index].retry_ready_time <= now) {
-        runnable.push_back(index);
-      }
-    }
-    if (runnable.empty()) return false;
-    int pick = scheduler->PickJob(jobs, runnable, kind,
-                                  static_cast<int>(total_slots), context);
-    if (pick < 0) return false;
-    SimJob& job = jobs[pick];
-    int64_t remaining = kind == TaskKind::kMap
-                            ? job.maps_total - job.maps_launched
-                            : job.reduces_total - job.reduces_launched;
-    // Fair share per grant round: no single pick absorbs every free slot
-    // while other jobs are runnable.
-    int64_t batch =
-        std::max<int64_t>(1, free_slots / static_cast<int64_t>(
-                                              runnable.size()));
-    batch = std::min({batch, remaining, free_slots});
-    batch = std::min(
-        batch, scheduler->BatchLimit(jobs, pick, kind,
-                                     static_cast<int>(total_slots), context));
-    if (batch < 1) return false;
-    launch_batch(static_cast<size_t>(pick), kind, now, batch);
-    return true;
-  };
-
-  auto schedule_loop = [&](double now) {
-    context.now = now;
-    bool granted = true;
-    while (granted) {
-      granted = false;
-      granted |= grant_kind(TaskKind::kMap, now);
-      granted |= grant_kind(TaskKind::kReduce, now);
-    }
-  };
-
-  double last_finish = 0.0;
-  while (!queue.empty()) {
-    Event event = queue.top();
-    queue.pop();
-    int64_t busy = (total_map_slots - free_map_slots) +
-                   (total_reduce_slots - free_reduce_slots);
-    meter.Advance(event.time, busy, occupancy_slot_seconds);
-
-    SimJob& job = jobs[event.job_index];
-    switch (event.kind) {
-      case Event::Kind::kArrival:
-        active.push_back(event.job_index);
-        break;
-      case Event::Kind::kWake:
-        break;  // only here to re-enter the grant loop after a backoff
-      case Event::Kind::kNodeLoss: {
-        ++result.failures.node_losses;
-        // One node's worth of running slots dies. Victims are drawn from
-        // active jobs in arrival order (deterministic); the kill is
-        // charged when the affected wave completes, matching Hadoop's
-        // heartbeat-timeout detection of lost TaskTrackers.
-        int64_t map_quota = options.cluster.map_slots_per_node;
-        int64_t reduce_quota = options.cluster.reduce_slots_per_node;
-        for (size_t index : active) {
-          SimJob& victim = jobs[index];
-          if (map_quota > 0) {
-            int64_t take = std::min(
-                map_quota, victim.maps_running() - victim.kill_pending_maps);
-            if (take > 0) {
-              victim.kill_pending_maps += take;
-              map_quota -= take;
-            }
-          }
-          if (reduce_quota > 0) {
-            int64_t take = std::min(reduce_quota,
-                                    victim.reduces_running() -
-                                        victim.kill_pending_reduces);
-            if (take > 0) {
-              victim.kill_pending_reduces += take;
-              reduce_quota -= take;
-            }
-          }
-          if (map_quota == 0 && reduce_quota == 0) break;
-        }
-        // Self-reschedule while the simulation still has work; stop when
-        // this was the last event so the loop terminates.
-        if (!queue.empty()) {
-          queue.push(Event{
-              event.time + loss_rng.NextExponential(loss_rate_per_second),
-              seq++, Event::Kind::kNodeLoss, 0, TaskKind::kMap, 0, 1, 0.0});
-        }
-        break;
-      }
-      case Event::Kind::kTasksFailed: {
-        if (event.task_kind == TaskKind::kMap) {
-          job.maps_launched -= event.count;
-          free_map_slots += event.count;
-          if (!job.is_small) context.large_running_maps -= event.count;
-          // Tasks that died on their own also satisfy any pending
-          // node-loss kill (they no longer exist to be killed later).
-          job.kill_pending_maps =
-              std::max<int64_t>(0, job.kill_pending_maps - event.count);
-        } else {
-          job.reduces_launched -= event.count;
-          free_reduce_slots += event.count;
-          if (!job.is_small) context.large_running_reduces -= event.count;
-          job.kill_pending_reduces =
-              std::max<int64_t>(0, job.kill_pending_reduces - event.count);
-        }
-        result.failures.task_failures += event.count;
-        result.failures.failed_task_seconds +=
-            static_cast<double>(event.count) * event.unit_seconds;
-        context.failed_attempts += event.count;
-        handle_attempt_failure(event.job_index, event.task_kind,
-                               event.attempt, event.count, event.time);
-        break;
-      }
-      case Event::Kind::kTasksDone: {
-        int64_t killed = 0;
-        if (event.task_kind == TaskKind::kMap) {
-          if (job.kill_pending_maps > 0) {
-            killed = std::min(event.count, job.kill_pending_maps);
-            job.kill_pending_maps -= killed;
-          }
-          job.maps_finished += event.count - killed;
-          job.maps_launched -= killed;
-          free_map_slots += event.count;
-          if (!job.is_small) context.large_running_maps -= event.count;
-        } else {
-          if (job.kill_pending_reduces > 0) {
-            killed = std::min(event.count, job.kill_pending_reduces);
-            job.kill_pending_reduces -= killed;
-          }
-          job.reduces_finished += event.count - killed;
-          job.reduces_launched -= killed;
-          free_reduce_slots += event.count;
-          if (!job.is_small) context.large_running_reduces -= event.count;
-        }
-        if (killed > 0) {
-          result.failures.tasks_lost_to_nodes += killed;
-          result.failures.failed_task_seconds +=
-              static_cast<double>(killed) * event.unit_seconds;
-          context.failed_attempts += killed;
-          handle_attempt_failure(event.job_index, event.task_kind,
-                                 event.attempt, killed, event.time);
-        }
-        if (!job.failed && job.Finished() && job.finish_time < 0.0) {
-          job.finish_time = event.time;
-          last_finish = std::max(last_finish, event.time);
-          active.erase(
-              std::find(active.begin(), active.end(), event.job_index));
-          for (size_t child : children[event.job_index]) {
-            --jobs[child].unfinished_parents;
-          }
-          JobOutcome outcome;
-          outcome.job_id = job.record->job_id;
-          outcome.submit_time = job.submit_time;
-          outcome.latency = job.finish_time - job.submit_time;
-          outcome.ideal_latency = job.IdealLatency();
-          outcome.is_small = job.is_small;
-          outcome.retries = job.retries;
-          result.outcomes.push_back(outcome);
-        }
-        break;
-      }
-    }
-    schedule_loop(event.time);
-  }
-
-  for (const SimJob& job : jobs) {
-    if (job.finish_time < 0.0) ++result.unfinished_jobs;
-  }
-  result.makespan = std::max(0.0, last_finish - first_submit);
-  result.hourly_occupancy.reserve(occupancy_slot_seconds.size());
-  for (double slot_seconds : occupancy_slot_seconds) {
-    result.hourly_occupancy.push_back(slot_seconds / 3600.0);
-  }
-  double capacity =
-      static_cast<double>(total_map_slots + total_reduce_slots) *
-      std::max(result.makespan, 1.0);
-  result.utilization = meter.busy_slot_seconds() / capacity;
-  return result;
+#ifdef SWIM_REPLAY_LEGACY
+  return ReplayTraceLegacy(trace, options);
+#else
+  return ReplayEngine(trace, options).Run();
+#endif
 }
 
 }  // namespace swim::sim

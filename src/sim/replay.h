@@ -159,6 +159,15 @@ struct ReplayResult {
 StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
                                    const ReplayOptions& options = {});
 
+/// The engine ReplayTrace shipped with before the calendar-queue rebuild
+/// (replay_legacy.cc), kept verbatim as the golden oracle: a
+/// std::priority_queue event loop with per-grant runnable scans and
+/// hour-by-hour occupancy stepping. Semantics are frozen - tests replay
+/// traces through both engines and require bit-identical ReplayResults.
+/// Building with -DSWIM_REPLAY_LEGACY=ON routes ReplayTrace here.
+StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
+                                         const ReplayOptions& options = {});
+
 }  // namespace swim::sim
 
 #endif  // SWIM_SIM_REPLAY_H_

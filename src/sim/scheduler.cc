@@ -5,6 +5,24 @@
 #include "common/string_util.h"
 
 namespace swim::sim {
+namespace {
+
+/// Pinned tie-break shared by every policy: candidate `index` beats the
+/// incumbent `best` iff its submit time is strictly earlier, or equal
+/// with a lower job index. This makes PickJob a pure function of the
+/// runnable *set* - the order jobs happen to sit in the runnable list
+/// (arrival order in the legacy engine, swap-remove order in the
+/// incremental one) can never leak into scheduling decisions.
+bool BeatsOnSubmit(const std::vector<SimJob>& jobs, size_t index, int best,
+                   double best_submit) {
+  if (best < 0) return true;
+  double submit = jobs[index].submit_time;
+  if (submit != best_submit) return submit < best_submit;
+  return index < static_cast<size_t>(best);
+}
+
+}  // namespace
+
 int FifoScheduler::PickJob(const std::vector<SimJob>& jobs,
                            const std::vector<size_t>& runnable,
                            TaskKind /*kind*/, int /*total_slots_of_kind*/,
@@ -12,7 +30,7 @@ int FifoScheduler::PickJob(const std::vector<SimJob>& jobs,
   int best = -1;
   double earliest = std::numeric_limits<double>::max();
   for (size_t index : runnable) {
-    if (jobs[index].submit_time < earliest) {
+    if (BeatsOnSubmit(jobs, index, best, earliest)) {
       earliest = jobs[index].submit_time;
       best = static_cast<int>(index);
     }
@@ -30,7 +48,8 @@ int FairScheduler::PickJob(const std::vector<SimJob>& jobs,
   for (size_t index : runnable) {
     const SimJob& job = jobs[index];
     int64_t held = job.running_tasks();
-    if (held < fewest || (held == fewest && job.submit_time < earliest)) {
+    if (held < fewest ||
+        (held == fewest && BeatsOnSubmit(jobs, index, best, earliest))) {
       fewest = held;
       earliest = job.submit_time;
       best = static_cast<int>(index);
@@ -52,11 +71,11 @@ int TwoTierScheduler::PickJob(const std::vector<SimJob>& jobs,
   for (size_t index : runnable) {
     const SimJob& job = jobs[index];
     if (job.is_small) {
-      if (job.submit_time < earliest_small) {
+      if (BeatsOnSubmit(jobs, index, best_small, earliest_small)) {
         earliest_small = job.submit_time;
         best_small = static_cast<int>(index);
       }
-    } else if (job.submit_time < earliest_large) {
+    } else if (BeatsOnSubmit(jobs, index, best_large, earliest_large)) {
       earliest_large = job.submit_time;
       best_large = static_cast<int>(index);
     }

@@ -34,6 +34,12 @@ struct SchedulerContext {
 /// a runnable task of `kind`, returns the index (into `jobs`) of the job to
 /// grant the next free slot, or -1 to leave the slot idle. Called once per
 /// grant, so policies can be stateful.
+///
+/// Determinism contract: PickJob must be a pure function of the runnable
+/// *set*, never of the order indices appear in `runnable` (the engine
+/// maintains that list incrementally and its order is an implementation
+/// detail). All built-in policies pin ties to (earliest submit time, then
+/// lowest job index).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;

@@ -1,0 +1,57 @@
+#include "sim/sweep.h"
+
+#include <functional>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace swim::sim {
+
+std::vector<StatusOr<ReplayResult>> RunSweep(
+    const std::vector<SweepConfig>& configs, int max_parallelism) {
+  std::vector<StatusOr<ReplayResult>> results(
+      configs.size(),
+      StatusOr<ReplayResult>(InternalError("sweep cell never ran")));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    tasks.push_back([&configs, &results, i] {
+      const SweepConfig& config = configs[i];
+      if (config.trace == nullptr) {
+        results[i] = StatusOr<ReplayResult>(
+            InvalidArgumentError("sweep config has no trace"));
+        return;
+      }
+      results[i] = ReplayTrace(*config.trace, config.options);
+    });
+  }
+  RunConcurrently(tasks, max_parallelism);
+  return results;
+}
+
+std::vector<SweepConfig> SweepGrid(const trace::Trace& trace,
+                                   const ReplayOptions& base,
+                                   const std::vector<std::string>& policies,
+                                   const std::vector<int>& node_counts,
+                                   const std::vector<uint64_t>& seeds) {
+  std::vector<SweepConfig> configs;
+  configs.reserve(policies.size() * node_counts.size() * seeds.size());
+  for (const std::string& policy : policies) {
+    for (int nodes : node_counts) {
+      for (uint64_t seed : seeds) {
+        SweepConfig config;
+        config.trace = &trace;
+        config.options = base;
+        config.options.scheduler = policy;
+        config.options.cluster.nodes = nodes;
+        config.options.seed = seed;
+        config.label = policy + "/n" + std::to_string(nodes) + "/s" +
+                       std::to_string(seed);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace swim::sim

@@ -1,0 +1,58 @@
+#ifndef SWIM_SIM_SWEEP_H_
+#define SWIM_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sim/replay.h"
+#include "trace/trace.h"
+
+namespace swim::sim {
+
+/// One cell of a replay sweep: a label for reporting plus the full
+/// (trace, options) pair ReplayTrace needs. Traces are referenced, not
+/// copied — many cells typically share one trace — so the caller keeps
+/// them alive across RunSweep.
+struct SweepConfig {
+  std::string label;
+  const trace::Trace* trace = nullptr;
+  ReplayOptions options;
+};
+
+/// Replays every configuration across the shared thread pool and returns
+/// the results in configuration order.
+///
+/// Determinism contract (how evaluation sweeps stay reproducible, per the
+/// paper's §7 methodology of comparing schedulers on the same replayed
+/// trace): each ReplayTrace run is already a pure function of its
+/// (trace, options) — per-run RNG streams are derived from
+/// options.seed alone, and runs share no mutable state — so executing
+/// them concurrently cannot perturb any individual result, and slotting
+/// results by configuration index makes the returned vector byte-identical
+/// at any `max_parallelism` / `SWIM_THREADS`, including 1. Tests replay
+/// sweeps serially and at 8 lanes and require bit-identical results.
+///
+/// A configuration with a null trace (or one ReplayTrace rejects) yields
+/// an error StatusOr in its slot; other runs are unaffected.
+///
+/// `max_parallelism` bounds worker lanes for this sweep; 0 means
+/// DefaultParallelism() (the SWIM_THREADS environment variable).
+std::vector<StatusOr<ReplayResult>> RunSweep(
+    const std::vector<SweepConfig>& configs, int max_parallelism = 0);
+
+/// Cross-product helper for the common grid shape: policy x node count x
+/// failure seed, all against one trace. Cells are emitted in row-major
+/// (policy, nodes, seed) order and labelled "<policy>/n<nodes>/s<seed>".
+/// Base options supply everything else (straggler knobs, failure model,
+/// dependencies, ...); pass {base.seed} for an un-swept seed axis.
+std::vector<SweepConfig> SweepGrid(const trace::Trace& trace,
+                                   const ReplayOptions& base,
+                                   const std::vector<std::string>& policies,
+                                   const std::vector<int>& node_counts,
+                                   const std::vector<uint64_t>& seeds);
+
+}  // namespace swim::sim
+
+#endif  // SWIM_SIM_SWEEP_H_

@@ -1,5 +1,9 @@
+#include <chrono>
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "common/random.h"
 #include "common/units.h"
 #include "gtest/gtest.h"
 #include "sim/replay.h"
@@ -420,6 +424,236 @@ TEST(FailureTest, ComposesWithStragglersAndSpeculation) {
   auto again = ReplayTrace(t, options);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(result->failures.retries, again->failures.retries);
+}
+
+// --- Occupancy gap jumping --------------------------------------------------
+
+TEST(OccupancyTest, WeekLongIdleGapReplaysFast) {
+  // Regression for the retired hour-by-hour Advance loop: two short jobs a
+  // week apart used to cost one bucket iteration per idle hour. The
+  // gap-jumping meter must fill the same buckets (zeros in between, same
+  // vector length) in O(boundary hours), which shows up as wall time.
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0.0, 2, 100));
+  t.AddJob(SimpleJob(2, 7.0 * 86400.0, 2, 100));
+  auto start = std::chrono::steady_clock::now();
+  auto result = ReplayTrace(t, SmallCluster());
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes.size(), 2u);
+  // 7 days = 168 hours; the second job finishes 50s into hour 168.
+  ASSERT_EQ(result->hourly_occupancy.size(), 169u);
+  double integral = 0.0;
+  for (double o : result->hourly_occupancy) integral += o * 3600.0;
+  EXPECT_NEAR(integral, 200.0, 1e-6);  // 2x100s maps per job, 2 jobs
+  for (size_t h = 1; h < 168; ++h) {
+    EXPECT_EQ(result->hourly_occupancy[h], 0.0) << "hour " << h;
+  }
+  // Generous bound (debug/sanitizer builds): the retired loop took
+  // millions of iterations; the jump takes thousands of x fewer.
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(OccupancyTest, MultiYearGapStillExact) {
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0.0, 1, 60));
+  t.AddJob(SimpleJob(2, 3.0 * 365.0 * 86400.0, 1, 60));
+  auto result = ReplayTrace(t, SmallCluster());
+  ASSERT_TRUE(result.ok());
+  double integral = 0.0;
+  for (double o : result->hourly_occupancy) integral += o * 3600.0;
+  EXPECT_NEAR(integral, 120.0, 1e-6);
+  EXPECT_EQ(result->hourly_occupancy.size(), 26281u);  // 3*365*24 + 1
+}
+
+// --- Scheduler tie-breaking -------------------------------------------------
+
+TEST(SchedulerTieBreakTest, EqualJobsResolveBySubmitThenIndex) {
+  // Four identical jobs, two submit-time groups. Every policy must pick
+  // the earliest submit, lowest index - regardless of the order the
+  // runnable list presents them (the engine maintains that list
+  // incrementally, so its order is arbitrary by contract).
+  std::vector<SimJob> jobs(4);
+  std::vector<trace::JobRecord> records(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    records[i] = SimpleJob(i + 1, i < 2 ? 100.0 : 50.0, 4, 40);
+    jobs[i].record = &records[i];
+    jobs[i].submit_time = records[i].submit_time;
+    jobs[i].maps_total = 4;
+    jobs[i].is_small = true;
+  }
+  SchedulerContext context;
+  const std::vector<std::vector<size_t>> permutations = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+    auto scheduler = MakeScheduler(policy);
+    for (const auto& runnable : permutations) {
+      // Jobs 2 and 3 share submit 50 (earliest): index 2 must win.
+      EXPECT_EQ(scheduler->PickJob(jobs, runnable, TaskKind::kMap, 8,
+                                   context),
+                2)
+          << policy;
+    }
+    // With the earliest pair excluded, jobs 0/1 share submit 100: index 0.
+    for (const std::vector<size_t>& runnable :
+         {std::vector<size_t>{0, 1}, std::vector<size_t>{1, 0}}) {
+      EXPECT_EQ(scheduler->PickJob(jobs, runnable, TaskKind::kMap, 8,
+                                   context),
+                0)
+          << policy;
+    }
+  }
+}
+
+TEST(SchedulerTieBreakTest, FairTieOnSlotCountsPinsToSubmitThenIndex) {
+  std::vector<SimJob> jobs(3);
+  std::vector<trace::JobRecord> records(3);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    records[i] = SimpleJob(i + 1, 10.0, 4, 40);
+    jobs[i].record = &records[i];
+    jobs[i].submit_time = 10.0;
+    jobs[i].maps_total = 4;
+  }
+  jobs[0].maps_launched = 2;  // holds more slots: loses despite index 0
+  FairScheduler fair;
+  SchedulerContext context;
+  for (const std::vector<size_t>& runnable :
+       {std::vector<size_t>{0, 1, 2}, std::vector<size_t>{2, 1, 0}}) {
+    EXPECT_EQ(fair.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 1);
+  }
+}
+
+// --- Engine vs captured baseline -------------------------------------------
+
+// The calendar-queue engine against ReplayTraceLegacy - the pre-rebuild
+// engine kept verbatim in replay_legacy.cc as the captured baseline. The
+// ISSUE's acceptance bar: bit-identical ReplayResults on FB-2010-style
+// traces for every policy, with and without failure injection.
+
+trace::Trace Fb2010Style(size_t jobs, uint64_t seed) {
+  // The paper's FB-2010 shape in miniature: >90% small jobs (a few short
+  // tasks), a heavy tail of large multi-wave jobs, bursty submits.
+  trace::Trace t;
+  Pcg32 rng(seed, /*stream=*/0xfb10);
+  double submit = 0.0;
+  for (size_t i = 0; i < jobs; ++i) {
+    submit += rng.NextExponential(1.0 / 20.0);  // ~20s mean interarrival
+    if (rng.NextBernoulli(0.92)) {
+      int64_t maps = rng.NextInt(1, 4);
+      t.AddJob(SimpleJob(i + 1, submit, maps,
+                         static_cast<double>(maps) * rng.NextDouble(5, 60),
+                         rng.NextBernoulli(0.3) ? 1 : 0, 15.0, 1e6));
+    } else {
+      int64_t maps = rng.NextInt(50, 400);
+      int64_t reduces = rng.NextInt(5, 40);
+      t.AddJob(SimpleJob(
+          i + 1, submit, maps,
+          static_cast<double>(maps) * rng.NextDouble(30, 300), reduces,
+          static_cast<double>(reduces) * rng.NextDouble(20, 120), 5e12));
+    }
+  }
+  return t;
+}
+
+void ExpectBitIdentical(const ReplayResult& a, const ReplayResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << what;
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_EQ(a.outcomes[i].job_id, b.outcomes[i].job_id)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].latency, b.outcomes[i].latency)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].ideal_latency, b.outcomes[i].ideal_latency)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].retries, b.outcomes[i].retries)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].is_small, b.outcomes[i].is_small)
+        << what << " outcome " << i;
+  }
+  EXPECT_EQ(a.scheduler, b.scheduler) << what;
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.utilization, b.utilization) << what;
+  EXPECT_EQ(a.hourly_occupancy, b.hourly_occupancy) << what;
+  EXPECT_EQ(a.unfinished_jobs, b.unfinished_jobs) << what;
+  EXPECT_EQ(a.failures.task_failures, b.failures.task_failures) << what;
+  EXPECT_EQ(a.failures.node_losses, b.failures.node_losses) << what;
+  EXPECT_EQ(a.failures.tasks_lost_to_nodes, b.failures.tasks_lost_to_nodes)
+      << what;
+  EXPECT_EQ(a.failures.retries, b.failures.retries) << what;
+  EXPECT_EQ(a.failures.failed_jobs, b.failures.failed_jobs) << what;
+  EXPECT_EQ(a.failures.failed_task_seconds, b.failures.failed_task_seconds)
+      << what;
+}
+
+TEST(EngineBaselineTest, BitIdenticalToLegacyAcrossPoliciesPlain) {
+  trace::Trace t = Fb2010Style(600, 2010);
+  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+    ReplayOptions options;
+    options.cluster.nodes = 30;
+    options.scheduler = policy;
+    auto current = ReplayTrace(t, options);
+    auto legacy = ReplayTraceLegacy(t, options);
+    ASSERT_TRUE(current.ok());
+    ASSERT_TRUE(legacy.ok());
+    ExpectBitIdentical(*current, *legacy, policy);
+  }
+}
+
+TEST(EngineBaselineTest, BitIdenticalToLegacyWithStragglersAndFailures) {
+  trace::Trace t = Fb2010Style(400, 417);
+  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+    ReplayOptions options;
+    options.cluster.nodes = 20;
+    options.scheduler = policy;
+    options.straggler_probability = 0.1;
+    options.straggler_factor = 6.0;
+    options.speculative_execution = true;
+    options.failures.task_failure_probability = 0.08;
+    options.failures.node_loss_per_hour = 2.0;
+    options.failures.max_attempts = 3;
+    options.failures.retry_backoff_seconds = 20.0;
+    auto current = ReplayTrace(t, options);
+    auto legacy = ReplayTraceLegacy(t, options);
+    ASSERT_TRUE(current.ok());
+    ASSERT_TRUE(legacy.ok());
+    ExpectBitIdentical(*current, *legacy, policy);
+  }
+}
+
+TEST(EngineBaselineTest, BitIdenticalToLegacyWithDependencies) {
+  trace::Trace t = Fb2010Style(200, 88);
+  ReplayOptions options;
+  options.cluster.nodes = 10;
+  options.scheduler = "fair";
+  // Chain every fifth job onto the previous multiple of five.
+  for (uint64_t id = 6; id <= 200; id += 5) {
+    options.dependencies[id] = {id - 5};
+  }
+  auto current = ReplayTrace(t, options);
+  auto legacy = ReplayTraceLegacy(t, options);
+  ASSERT_TRUE(current.ok());
+  ASSERT_TRUE(legacy.ok());
+  ExpectBitIdentical(*current, *legacy, "fair+deps");
+}
+
+TEST(EngineBaselineTest, BitIdenticalOnSaturatedTinyCluster) {
+  // Deep backlog: every slot contested, the grant loop's batch fairness
+  // and tie-breaking fully exercised.
+  trace::Trace t = Fb2010Style(300, 7);
+  ReplayOptions options;
+  options.cluster.nodes = 1;
+  options.cluster.map_slots_per_node = 3;
+  options.cluster.reduce_slots_per_node = 2;
+  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+    options.scheduler = policy;
+    auto current = ReplayTrace(t, options);
+    auto legacy = ReplayTraceLegacy(t, options);
+    ASSERT_TRUE(current.ok());
+    ASSERT_TRUE(legacy.ok());
+    ExpectBitIdentical(*current, *legacy, policy);
+  }
 }
 
 }  // namespace
