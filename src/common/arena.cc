@@ -1,0 +1,42 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace swim {
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  if (alignment == 0) alignment = 1;
+  for (;;) {
+    if (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+      const uintptr_t aligned =
+          (base + offset_ + alignment - 1) & ~static_cast<uintptr_t>(alignment - 1);
+      const size_t end = static_cast<size_t>(aligned - base) + bytes;
+      if (end <= block.size) {
+        offset_ = end;
+        used_bytes_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // This epoch's bump passed the block; move on to the next kept
+      // block (its tail space is abandoned until Reset).
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    // Out of kept blocks: grow. `bytes + alignment` guarantees the
+    // worst-case alignment skip fits, and requests beyond the default
+    // block size get a dedicated block (large-block fallback).
+    const size_t want = std::max(bytes + alignment, block_bytes_);
+    Block block;
+    block.data = std::make_unique<unsigned char[]>(want);
+    block.size = want;
+    reserved_bytes_ += want;
+    blocks_.push_back(std::move(block));
+    current_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+}  // namespace swim

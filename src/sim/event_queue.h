@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -19,7 +20,11 @@ namespace swim::sim {
 ///   bool empty() / size_t size()
 ///
 /// The element type E only needs public `double time` and `uint64_t seq`
-/// members. Three implementations:
+/// members. DaryEventHeap and CalendarEventQueue additionally take an
+/// allocator (default std::allocator) so the replay engine can back every
+/// bucket and heap node with a per-lane Arena; HeapEventQueue stays
+/// allocator-free, frozen in its golden-oracle role. Three
+/// implementations:
 ///
 ///   HeapEventQueue:     std::priority_queue, O(log n) - the engine the
 ///                       simulator shipped with, retired to golden-oracle
@@ -71,9 +76,12 @@ class HeapEventQueue {
 };
 
 /// 4-ary implicit min-heap on (time, seq).
-template <typename E>
+template <typename E, typename Alloc = std::allocator<E>>
 class DaryEventHeap {
  public:
+  DaryEventHeap() = default;
+  explicit DaryEventHeap(const Alloc& alloc) : heap_(alloc) {}
+
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 
@@ -94,8 +102,8 @@ class DaryEventHeap {
   }
 
   /// Moves the contents out (unordered); leaves the heap empty.
-  std::vector<E> TakeAll() {
-    std::vector<E> all = std::move(heap_);
+  std::vector<E, Alloc> TakeAll() {
+    std::vector<E, Alloc> all = std::move(heap_);
     heap_.clear();
     return all;
   }
@@ -128,7 +136,7 @@ class DaryEventHeap {
     }
   }
 
-  std::vector<E> heap_;
+  std::vector<E, Alloc> heap_;
 };
 
 /// Calendar queue (R. Brown, CACM 1988): events hash by time into a ring
@@ -159,9 +167,15 @@ class DaryEventHeap {
 /// and halves below 1/4, and the width is re-estimated from the live
 /// event span on each rebuild - both deterministic functions of the queue
 /// contents, so replay output cannot depend on allocation history.
-template <typename E>
+template <typename E, typename Alloc = std::allocator<E>>
 class CalendarEventQueue {
  public:
+  CalendarEventQueue() = default;
+  /// All internal storage — the small-queue heap, the bucket ring, and
+  /// every bucket's item vector — allocates through (rebinds of) `alloc`.
+  explicit CalendarEventQueue(const Alloc& alloc)
+      : alloc_(alloc), heap_(alloc), buckets_(BucketAlloc(alloc)) {}
+
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
 
@@ -190,12 +204,18 @@ class CalendarEventQueue {
 
  private:
   struct Bucket {
-    std::vector<E> items;
+    std::vector<E, Alloc> items;
     size_t head = 0;  // items[0, head) already popped
+
+    Bucket() = default;
+    explicit Bucket(const Alloc& alloc) : items(alloc) {}
 
     bool IsEmpty() const { return head == items.size(); }
     const E& Front() const { return items[head]; }
   };
+
+  using BucketAlloc =
+      typename std::allocator_traits<Alloc>::template rebind_alloc<Bucket>;
 
   static constexpr size_t kHeapBelow = 48;
   static constexpr size_t kCalendarAbove = 96;
@@ -275,9 +295,11 @@ class CalendarEventQueue {
     return result;
   }
 
-  void InitBuckets(std::vector<E> events, size_t bucket_count) {
+  void InitBuckets(std::vector<E, Alloc> events, size_t bucket_count) {
     bucket_count = std::max(NextPowerOfTwo(bucket_count), kMinBuckets);
-    buckets_.assign(bucket_count, Bucket{});
+    // The prototype bucket carries the allocator; assign copies it (and
+    // with it the arena) into every ring slot.
+    buckets_.assign(bucket_count, Bucket(alloc_));
     mask_ = bucket_count - 1;
     // Width from the live span: ~1 event per virtual bucket keeps both
     // insert (short sorted runs) and pop (few empty visits) O(1).
@@ -315,7 +337,7 @@ class CalendarEventQueue {
   }
 
   void Rebuild(size_t bucket_count) {
-    std::vector<E> events;
+    std::vector<E, Alloc> events(alloc_);
     events.reserve(size_);
     for (Bucket& bucket : buckets_) {
       for (size_t k = bucket.head; k < bucket.items.size(); ++k) {
@@ -327,8 +349,9 @@ class CalendarEventQueue {
 
   bool heap_mode_ = true;
   size_t size_ = 0;
-  DaryEventHeap<E> heap_;
-  std::vector<Bucket> buckets_;
+  Alloc alloc_;
+  DaryEventHeap<E, Alloc> heap_;
+  std::vector<Bucket, BucketAlloc> buckets_;
   size_t mask_ = 0;
   double width_ = 1.0;
   uint64_t cursor_vb_ = 0;

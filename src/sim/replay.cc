@@ -24,6 +24,14 @@
 //     O(active) std::find + erase per job completion.
 //   - OccupancyMeter jumps idle gaps in one step instead of looping
 //     bucket-by-bucket across hours where nothing was running.
+//
+// For sweep throughput the run is split in two phases (ISSUE 6): a
+// per-trace ReplayTemplate build (SimJob skeletons, dependency CSR, job
+// index — computed once, shared immutably across all configurations) and
+// a cheap per-config run whose every container is backed by a per-lane
+// Arena, so a warm sweep lane replays a configuration with ~zero heap
+// mallocs. ReplayTrace == Build + one Replay, so single runs, sweeps,
+// and the legacy oracle all agree bit for bit.
 #include "sim/replay.h"
 
 #include <algorithm>
@@ -70,7 +78,7 @@ struct Event {
 /// (h+1)*3600 boundaries - so bucket contents stay bit-identical.
 class OccupancyMeter {
  public:
-  void Advance(double now, int64_t busy_slots, std::vector<double>& buckets) {
+  void Advance(double now, int64_t busy_slots, ArenaVector<double>& buckets) {
     if (now <= last_time_) {
       last_time_ = std::max(last_time_, now);
       return;
@@ -135,16 +143,24 @@ Status ValidateFailureOptions(const FailureOptions& failures) {
   return Status::Ok();
 }
 
-/// One replay run. Determinism contract: everything below is a pure
-/// function of (trace, options); the event order equals the retired
-/// priority-queue engine's order, the RNG streams are consumed at the
-/// same call sites, and scheduler decisions are independent of runnable
-/// list order (pinned tie-breaks), so results match ReplayTraceLegacy
-/// bit for bit.
+/// One replay run against a shared ReplayTemplate. Determinism contract:
+/// everything below is a pure function of (template, options); the event
+/// order equals the retired priority-queue engine's order, the RNG
+/// streams are consumed at the same call sites, and scheduler decisions
+/// are independent of runnable list order (pinned tie-breaks), so
+/// results match ReplayTraceLegacy bit for bit.
+///
+/// Every per-run container draws from `arena` (heap fallback when null):
+/// the job table copy, both runnable lists and their position indexes,
+/// the parked-job heap, the active-list links, the occupancy buckets,
+/// and the calendar queue's heap and bucket ring. The ReplayResult
+/// handed back owns plain heap memory so it survives the lane's
+/// arena->Reset() between configurations.
 class ReplayEngine {
  public:
-  ReplayEngine(const trace::Trace& trace, const ReplayOptions& options)
-      : trace_(trace),
+  ReplayEngine(const ReplayTemplate& tpl, const ReplayOptions& options,
+               Arena* arena)
+      : tpl_(tpl),
         options_(options),
         failures_(options.failures),
         rng_(options.seed, /*stream=*/0x51e9),
@@ -153,7 +169,20 @@ class ReplayEngine {
         // with the model disabled these are never consulted, keeping
         // output bit-identical to pre-failure-model replays).
         failure_rng_(options.seed, /*stream=*/0xfa11),
-        loss_rng_(options.seed, /*stream=*/0x10e5) {}
+        loss_rng_(options.seed, /*stream=*/0x10e5),
+        jobs_(ArenaAllocator<SimJob>(arena)),
+        queue_(ArenaAllocator<Event>(arena)),
+        occupancy_slot_seconds_(ArenaAllocator<double>(arena)),
+        arrived_(ArenaAllocator<uint8_t>(arena)),
+        parked_(ArenaAllocator<uint8_t>(arena)),
+        map_pos_(ArenaAllocator<size_t>(arena)),
+        reduce_pos_(ArenaAllocator<size_t>(arena)),
+        runnable_maps_(ArenaAllocator<size_t>(arena)),
+        runnable_reduces_(ArenaAllocator<size_t>(arena)),
+        in_active_(ArenaAllocator<uint8_t>(arena)),
+        active_prev_(ArenaAllocator<size_t>(arena)),
+        active_next_(ArenaAllocator<size_t>(arena)),
+        parked_heap_(ArenaAllocator<std::pair<double, size_t>>(arena)) {}
 
   StatusOr<ReplayResult> Run();
 
@@ -166,7 +195,7 @@ class ReplayEngine {
   // stage). Membership only changes at the transition points below, each
   // of which calls Refresh - an idempotent O(1) resync of both lists.
 
-  void SetMembership(std::vector<size_t>& list, std::vector<size_t>& pos,
+  void SetMembership(ArenaVector<size_t>& list, ArenaVector<size_t>& pos,
                      size_t i, bool want) {
     const bool have = pos[i] != kNone;
     if (want == have) return;
@@ -241,17 +270,16 @@ class ReplayEngine {
   bool GrantKind(TaskKind kind, double now);
   void ScheduleLoop(double now);
 
-  const trace::Trace& trace_;
+  const ReplayTemplate& tpl_;
   const ReplayOptions& options_;
   const FailureOptions& failures_;
   Pcg32 rng_;
   Pcg32 failure_rng_;
   Pcg32 loss_rng_;
 
-  std::vector<SimJob> jobs_;
-  std::vector<std::vector<size_t>> children_;
+  ArenaVector<SimJob> jobs_;
   std::unique_ptr<Scheduler> scheduler_;
-  CalendarEventQueue<Event> queue_;
+  CalendarEventQueue<Event, ArenaAllocator<Event>> queue_;
   uint64_t seq_ = 0;
 
   int64_t total_map_slots_ = 0;
@@ -260,26 +288,26 @@ class ReplayEngine {
   int64_t free_reduce_slots_ = 0;
   SchedulerContext context_;
   OccupancyMeter meter_;
-  std::vector<double> occupancy_slot_seconds_;
+  ArenaVector<double> occupancy_slot_seconds_;
   ReplayResult result_;
 
-  std::vector<uint8_t> arrived_;
-  std::vector<uint8_t> parked_;
-  std::vector<size_t> map_pos_;
-  std::vector<size_t> reduce_pos_;
-  std::vector<size_t> runnable_maps_;
-  std::vector<size_t> runnable_reduces_;
+  ArenaVector<uint8_t> arrived_;
+  ArenaVector<uint8_t> parked_;
+  ArenaVector<size_t> map_pos_;
+  ArenaVector<size_t> reduce_pos_;
+  ArenaVector<size_t> runnable_maps_;
+  ArenaVector<size_t> runnable_reduces_;
 
-  std::vector<uint8_t> in_active_;
-  std::vector<size_t> active_prev_;
-  std::vector<size_t> active_next_;
+  ArenaVector<uint8_t> in_active_;
+  ArenaVector<size_t> active_prev_;
+  ArenaVector<size_t> active_next_;
   size_t active_head_ = kNone;
   size_t active_tail_ = kNone;
 
   /// (retry_ready_time, job index) min-heap of parked jobs. Entries are
   /// lazy: retry_ready_time may have been raised after an entry was
   /// pushed, in which case the stale entry re-parks itself on pop.
-  std::vector<std::pair<double, size_t>> parked_heap_;
+  ArenaVector<std::pair<double, size_t>> parked_heap_;
 };
 
 // Launches `count` tasks of one kind as at most three events: a failing
@@ -417,7 +445,7 @@ bool ReplayEngine::GrantKind(TaskKind kind, double now) {
   int64_t& free_slots =
       kind == TaskKind::kMap ? free_map_slots_ : free_reduce_slots_;
   if (free_slots <= 0) return false;
-  const std::vector<size_t>& runnable =
+  const ArenaVector<size_t>& runnable =
       kind == TaskKind::kMap ? runnable_maps_ : runnable_reduces_;
   if (runnable.empty()) return false;
   int64_t total_slots =
@@ -476,68 +504,20 @@ void ReplayEngine::ScheduleLoop(double now) {
 }
 
 StatusOr<ReplayResult> ReplayEngine::Run() {
-  if (trace_.empty()) return InvalidArgumentError("empty trace");
   if (options_.cluster.nodes <= 0 ||
       options_.cluster.map_slots_per_node <= 0 ||
       options_.cluster.reduce_slots_per_node < 0) {
     return InvalidArgumentError("invalid cluster configuration");
-  }
-  if (options_.max_tasks_per_job < 1) {
-    return InvalidArgumentError("max_tasks_per_job must be >= 1");
   }
   Status failure_status = ValidateFailureOptions(failures_);
   if (!failure_status.ok()) return failure_status;
 
   scheduler_ = MakeScheduler(options_.scheduler);
 
-  // Build the job table (trace.jobs() is submit-sorted).
-  jobs_.reserve(trace_.size());
-  for (const auto& record : trace_.jobs()) {
-    SimJob job;
-    job.record = &record;
-    job.submit_time = record.submit_time;
-    job.is_small = record.TotalBytes() < options_.small_job_bytes;
-    job.maps_total = std::min(std::max<int64_t>(record.map_tasks, 1),
-                              options_.max_tasks_per_job);
-    job.map_task_duration = std::max(
-        record.map_task_seconds / static_cast<double>(job.maps_total), 1e-3);
-    job.reduces_total =
-        std::min(record.reduce_tasks, options_.max_tasks_per_job);
-    if (job.reduces_total > 0) {
-      job.reduce_task_duration =
-          std::max(record.reduce_task_seconds /
-                       static_cast<double>(job.reduces_total),
-                   1e-3);
-    }
-    jobs_.push_back(job);
-  }
-
-  // Workflow dependencies: resolve job ids to indices and wire parent
-  // counters / child lists.
-  children_.assign(jobs_.size(), {});
-  if (!options_.dependencies.empty()) {
-    FlatHashMap<uint64_t, size_t> index_of;
-    index_of.reserve(jobs_.size());
-    for (size_t i = 0; i < jobs_.size(); ++i) {
-      index_of[jobs_[i].record->job_id] = i;
-    }
-    for (const auto& [child_id, parent_ids] : options_.dependencies) {
-      auto child_it = index_of.find(child_id);
-      if (child_it == index_of.end()) {
-        return InvalidArgumentError("dependency references unknown job " +
-                                    std::to_string(child_id));
-      }
-      for (uint64_t parent_id : parent_ids) {
-        auto parent_it = index_of.find(parent_id);
-        if (parent_it == index_of.end()) {
-          return InvalidArgumentError("dependency references unknown job " +
-                                      std::to_string(parent_id));
-        }
-        ++jobs_[child_it->second].unfinished_parents;
-        children_[parent_it->second].push_back(child_it->second);
-      }
-    }
-  }
+  // The per-trace build phase already happened (shared ReplayTemplate);
+  // a run starts from a bulk copy of the skeletons — SimJob is trivially
+  // copyable, so this is one memcpy-shaped pass into the lane's arena.
+  jobs_.assign(tpl_.jobs().begin(), tpl_.jobs().end());
 
   const size_t n = jobs_.size();
   arrived_.assign(n, 0);
@@ -547,6 +527,10 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
   in_active_.assign(n, 0);
   active_prev_.assign(n, kNone);
   active_next_.assign(n, kNone);
+  // Worst-case capacity up front: growth inside a monotonic arena would
+  // abandon the old buffer until the lane resets.
+  runnable_maps_.reserve(n);
+  runnable_reduces_.reserve(n);
 
   for (size_t i = 0; i < n; ++i) {
     PushEvent(jobs_[i].submit_time, Event::Kind::kArrival, i,
@@ -559,8 +543,12 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
   free_reduce_slots_ = total_reduce_slots_;
 
   result_.scheduler = scheduler_->name();
+  // The result is returned to the caller and must survive the lane's
+  // arena reset, so outcomes stay heap-backed; one reservation keeps the
+  // run's heap traffic to a handful of calls.
+  result_.outcomes.reserve(n);
 
-  double first_submit = jobs_.front().submit_time;
+  const double first_submit = tpl_.first_submit();
   const double loss_rate_per_second = failures_.node_loss_per_hour / 3600.0;
   if (loss_rate_per_second > 0.0) {
     PushEvent(first_submit + loss_rng_.NextExponential(loss_rate_per_second),
@@ -680,9 +668,15 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
           job.finish_time = event.time;
           last_finish = std::max(last_finish, event.time);
           UnlinkActive(event.job_index);
-          for (size_t child : children_[event.job_index]) {
-            --jobs_[child].unfinished_parents;
-            Refresh(child);
+          if (!tpl_.child_offsets().empty()) {
+            const std::vector<uint32_t>& offsets = tpl_.child_offsets();
+            const std::vector<uint32_t>& index = tpl_.child_index();
+            for (uint32_t c = offsets[event.job_index];
+                 c < offsets[event.job_index + 1]; ++c) {
+              const size_t child = index[c];
+              --jobs_[child].unfinished_parents;
+              Refresh(child);
+            }
           }
           JobOutcome outcome;
           outcome.job_id = job.record->job_id;
@@ -749,12 +743,127 @@ size_t ReplayResult::CountJobs(bool small_jobs) const {
   return count;
 }
 
+namespace {
+
+bool SameDependencies(
+    const FlatHashMap<uint64_t, std::vector<uint64_t>>& a,
+    const FlatHashMap<uint64_t, std::vector<uint64_t>>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [child, parents] : a) {
+    auto it = b.find(child);
+    if (it == b.end() || it->second != parents) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ReplayTemplate> ReplayTemplate::Build(const trace::Trace& trace,
+                                               const ReplayOptions& base) {
+  if (trace.empty()) return InvalidArgumentError("empty trace");
+  if (base.max_tasks_per_job < 1) {
+    return InvalidArgumentError("max_tasks_per_job must be >= 1");
+  }
+
+  ReplayTemplate tpl;
+  tpl.max_tasks_per_job_ = base.max_tasks_per_job;
+  tpl.small_job_bytes_ = base.small_job_bytes;
+  tpl.dependencies_ = base.dependencies;
+
+  // Build the job skeletons (trace.jobs() is submit-sorted). This is the
+  // exact conversion the engine used to run per replay.
+  tpl.jobs_.reserve(trace.size());
+  for (const auto& record : trace.jobs()) {
+    SimJob job;
+    job.record = &record;
+    job.submit_time = record.submit_time;
+    job.is_small = record.TotalBytes() < base.small_job_bytes;
+    job.maps_total = std::min(std::max<int64_t>(record.map_tasks, 1),
+                              base.max_tasks_per_job);
+    job.map_task_duration = std::max(
+        record.map_task_seconds / static_cast<double>(job.maps_total), 1e-3);
+    job.reduces_total =
+        std::min(record.reduce_tasks, base.max_tasks_per_job);
+    if (job.reduces_total > 0) {
+      job.reduce_task_duration =
+          std::max(record.reduce_task_seconds /
+                       static_cast<double>(job.reduces_total),
+                   1e-3);
+    }
+    tpl.jobs_.push_back(job);
+  }
+  tpl.first_submit_ = tpl.jobs_.front().submit_time;
+
+  // Workflow dependencies: resolve job ids to indices, wire parent
+  // counters into the skeletons, and flatten child lists to CSR (two
+  // passes over the map; per-parent child order matches the old
+  // vector-of-vectors fill order).
+  if (!base.dependencies.empty()) {
+    FlatHashMap<uint64_t, size_t> index_of;
+    index_of.reserve(tpl.jobs_.size());
+    for (size_t i = 0; i < tpl.jobs_.size(); ++i) {
+      index_of[tpl.jobs_[i].record->job_id] = i;
+    }
+    const size_t n = tpl.jobs_.size();
+    std::vector<uint32_t> counts(n, 0);
+    for (const auto& [child_id, parent_ids] : base.dependencies) {
+      auto child_it = index_of.find(child_id);
+      if (child_it == index_of.end()) {
+        return InvalidArgumentError("dependency references unknown job " +
+                                    std::to_string(child_id));
+      }
+      for (uint64_t parent_id : parent_ids) {
+        auto parent_it = index_of.find(parent_id);
+        if (parent_it == index_of.end()) {
+          return InvalidArgumentError("dependency references unknown job " +
+                                      std::to_string(parent_id));
+        }
+        ++tpl.jobs_[child_it->second].unfinished_parents;
+        ++counts[parent_it->second];
+      }
+    }
+    tpl.child_offsets_.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      tpl.child_offsets_[i + 1] = tpl.child_offsets_[i] + counts[i];
+    }
+    tpl.child_index_.resize(tpl.child_offsets_[n]);
+    std::vector<uint32_t> cursor(tpl.child_offsets_.begin(),
+                                 tpl.child_offsets_.end() - 1);
+    for (const auto& [child_id, parent_ids] : base.dependencies) {
+      const size_t child = index_of.find(child_id)->second;
+      for (uint64_t parent_id : parent_ids) {
+        const size_t parent = index_of.find(parent_id)->second;
+        tpl.child_index_[cursor[parent]++] = static_cast<uint32_t>(child);
+      }
+    }
+  }
+  return tpl;
+}
+
+bool ReplayTemplate::Compatible(const ReplayOptions& options) const {
+  return options.max_tasks_per_job == max_tasks_per_job_ &&
+         options.small_job_bytes == small_job_bytes_ &&
+         SameDependencies(options.dependencies, dependencies_);
+}
+
+StatusOr<ReplayResult> ReplayTemplate::Replay(const ReplayOptions& options,
+                                              Arena* arena) const {
+  if (!Compatible(options)) {
+    return InvalidArgumentError(
+        "replay options disagree with the template's captured "
+        "max_tasks_per_job / small_job_bytes / dependencies");
+  }
+  return ReplayEngine(*this, options, arena).Run();
+}
+
 StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
                                    const ReplayOptions& options) {
 #ifdef SWIM_REPLAY_LEGACY
   return ReplayTraceLegacy(trace, options);
 #else
-  return ReplayEngine(trace, options).Run();
+  auto tpl = ReplayTemplate::Build(trace, options);
+  if (!tpl.ok()) return tpl.status();
+  return tpl->Replay(options, /*arena=*/nullptr);
 #endif
 }
 

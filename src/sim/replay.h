@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/flat_hash.h"
 #include "common/statusor.h"
 #include "sim/scheduler.h"
@@ -152,10 +153,72 @@ struct ReplayResult {
   size_t CountJobs(bool small_jobs) const;
 };
 
+/// The per-trace build product of a replay, computed once and shared
+/// immutably across every configuration of a sweep: SimJob skeletons
+/// (task counts, durations, small/large classification), the workflow
+/// dependency graph in CSR form, and the resolved job index. Splitting
+/// this off ReplayTrace turns an N-configuration sweep's trace -> jobs
+/// conversion from N passes into one.
+///
+/// Build() captures the option fields the skeletons depend on
+/// (max_tasks_per_job, small_job_bytes, dependencies); Replay() rejects
+/// options that disagree with them — the sweep axes (scheduler, cluster
+/// size, seed, stragglers, failure model) are all per-run. The template
+/// holds pointers into `trace`, which must outlive it. Thread-safe for
+/// concurrent Replay() calls: a run never writes template state.
+class ReplayTemplate {
+ public:
+  static StatusOr<ReplayTemplate> Build(const trace::Trace& trace,
+                                        const ReplayOptions& base = {});
+
+  /// One configuration run against the shared skeletons, bit-identical
+  /// to ReplayTrace(trace, options) for compatible options. `arena`,
+  /// when non-null, backs every per-run container (job table, runnable
+  /// lists, event-queue buckets, ...); between runs the owning lane
+  /// calls arena->Reset() and the next run re-carves the same blocks, so
+  /// a warm lane replays a configuration with ~zero heap mallocs. The
+  /// returned ReplayResult owns ordinary heap memory and outlives any
+  /// arena reset.
+  StatusOr<ReplayResult> Replay(const ReplayOptions& options,
+                                Arena* arena = nullptr) const;
+
+  /// True iff `options` agrees with the captured template-relevant
+  /// fields (max_tasks_per_job, small_job_bytes, dependencies).
+  bool Compatible(const ReplayOptions& options) const;
+
+  size_t job_count() const { return jobs_.size(); }
+
+  // --- Engine-facing accessors (read-only shared state) ---------------
+  const std::vector<SimJob>& jobs() const { return jobs_; }
+  /// Dependency children in CSR form; both empty when no dependencies.
+  /// Children of job i are child_index()[child_offsets()[i] ..
+  /// child_offsets()[i+1]).
+  const std::vector<uint32_t>& child_offsets() const {
+    return child_offsets_;
+  }
+  const std::vector<uint32_t>& child_index() const { return child_index_; }
+  double first_submit() const { return first_submit_; }
+
+ private:
+  ReplayTemplate() = default;
+
+  std::vector<SimJob> jobs_;  // initial-state skeletons, records -> trace
+  std::vector<uint32_t> child_offsets_;
+  std::vector<uint32_t> child_index_;
+  double first_submit_ = 0.0;
+
+  // Captured template-relevant options (Compatible()).
+  int64_t max_tasks_per_job_ = 0;
+  double small_job_bytes_ = 0.0;
+  FlatHashMap<uint64_t, std::vector<uint64_t>> dependencies_;
+};
+
 /// Replays a trace through the discrete-event cluster simulator: jobs
 /// arrive at their submit times, tasks occupy slots under the chosen
 /// scheduling policy, reduces start when the map stage completes.
-/// Deterministic in (trace, options).
+/// Deterministic in (trace, options). Equivalent to
+/// ReplayTemplate::Build + Replay; sweeps replaying one trace under many
+/// configurations should build the template once instead.
 StatusOr<ReplayResult> ReplayTrace(const trace::Trace& trace,
                                    const ReplayOptions& options = {});
 

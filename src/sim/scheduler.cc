@@ -13,7 +13,7 @@ namespace {
 /// runnable *set* - the order jobs happen to sit in the runnable list
 /// (arrival order in the legacy engine, swap-remove order in the
 /// incremental one) can never leak into scheduling decisions.
-bool BeatsOnSubmit(const std::vector<SimJob>& jobs, size_t index, int best,
+bool BeatsOnSubmit(Span<SimJob> jobs, size_t index, int best,
                    double best_submit) {
   if (best < 0) return true;
   double submit = jobs[index].submit_time;
@@ -23,8 +23,7 @@ bool BeatsOnSubmit(const std::vector<SimJob>& jobs, size_t index, int best,
 
 }  // namespace
 
-int FifoScheduler::PickJob(const std::vector<SimJob>& jobs,
-                           const std::vector<size_t>& runnable,
+int FifoScheduler::PickJob(Span<SimJob> jobs, Span<size_t> runnable,
                            TaskKind /*kind*/, int /*total_slots_of_kind*/,
                            const SchedulerContext& /*context*/) {
   int best = -1;
@@ -38,8 +37,7 @@ int FifoScheduler::PickJob(const std::vector<SimJob>& jobs,
   return best;
 }
 
-int FairScheduler::PickJob(const std::vector<SimJob>& jobs,
-                           const std::vector<size_t>& runnable,
+int FairScheduler::PickJob(Span<SimJob> jobs, Span<size_t> runnable,
                            TaskKind /*kind*/, int /*total_slots_of_kind*/,
                            const SchedulerContext& /*context*/) {
   int best = -1;
@@ -58,8 +56,7 @@ int FairScheduler::PickJob(const std::vector<SimJob>& jobs,
   return best;
 }
 
-int TwoTierScheduler::PickJob(const std::vector<SimJob>& jobs,
-                              const std::vector<size_t>& runnable,
+int TwoTierScheduler::PickJob(Span<SimJob> jobs, Span<size_t> runnable,
                               TaskKind kind, int total_slots_of_kind,
                               const SchedulerContext& context) {
   // Small tier first, FIFO within tier.
@@ -87,9 +84,8 @@ int TwoTierScheduler::PickJob(const std::vector<SimJob>& jobs,
   return -1;
 }
 
-int64_t TwoTierScheduler::BatchLimit(const std::vector<SimJob>& jobs,
-                                     int picked, TaskKind kind,
-                                     int total_slots_of_kind,
+int64_t TwoTierScheduler::BatchLimit(Span<SimJob> jobs, int picked,
+                                     TaskKind kind, int total_slots_of_kind,
                                      const SchedulerContext& context) {
   if (jobs[picked].is_small) return std::numeric_limits<int64_t>::max();
   int64_t cap = static_cast<int64_t>(

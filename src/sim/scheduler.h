@@ -4,8 +4,8 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "common/span.h"
 #include "sim/sim_job.h"
 
 namespace swim::sim {
@@ -40,21 +40,23 @@ struct SchedulerContext {
 /// maintains that list incrementally and its order is an implementation
 /// detail). All built-in policies pin ties to (earliest submit time, then
 /// lowest job index).
+///
+/// Tables are passed as Spans so the calendar engine's arena-backed
+/// vectors and the legacy engine's (and tests') std::vectors share one
+/// interface.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
-  virtual int PickJob(const std::vector<SimJob>& jobs,
-                      const std::vector<size_t>& runnable, TaskKind kind,
-                      int total_slots_of_kind,
+  virtual int PickJob(Span<SimJob> jobs, Span<size_t> runnable,
+                      TaskKind kind, int total_slots_of_kind,
                       const SchedulerContext& context) = 0;
 
   /// Upper bound on how many tasks the engine may grant the picked job in
   /// one batch. Policies with quotas (two-tier) override this; the default
   /// is unlimited.
-  virtual int64_t BatchLimit(const std::vector<SimJob>& /*jobs*/,
-                             int /*picked*/, TaskKind /*kind*/,
-                             int /*total_slots_of_kind*/,
+  virtual int64_t BatchLimit(Span<SimJob> /*jobs*/, int /*picked*/,
+                             TaskKind /*kind*/, int /*total_slots_of_kind*/,
                              const SchedulerContext& /*context*/) {
     return std::numeric_limits<int64_t>::max();
   }
@@ -65,8 +67,7 @@ class Scheduler {
 class FifoScheduler : public Scheduler {
  public:
   std::string name() const override { return "FIFO"; }
-  int PickJob(const std::vector<SimJob>& jobs,
-              const std::vector<size_t>& runnable, TaskKind kind,
+  int PickJob(Span<SimJob> jobs, Span<size_t> runnable, TaskKind kind,
               int total_slots_of_kind,
               const SchedulerContext& context) override;
 };
@@ -76,8 +77,7 @@ class FifoScheduler : public Scheduler {
 class FairScheduler : public Scheduler {
  public:
   std::string name() const override { return "Fair"; }
-  int PickJob(const std::vector<SimJob>& jobs,
-              const std::vector<size_t>& runnable, TaskKind kind,
+  int PickJob(Span<SimJob> jobs, Span<size_t> runnable, TaskKind kind,
               int total_slots_of_kind,
               const SchedulerContext& context) override;
 };
@@ -91,12 +91,11 @@ class TwoTierScheduler : public Scheduler {
   explicit TwoTierScheduler(double large_share = 0.7)
       : large_share_(large_share) {}
   std::string name() const override { return "TwoTier"; }
-  int PickJob(const std::vector<SimJob>& jobs,
-              const std::vector<size_t>& runnable, TaskKind kind,
+  int PickJob(Span<SimJob> jobs, Span<size_t> runnable, TaskKind kind,
               int total_slots_of_kind,
               const SchedulerContext& context) override;
-  int64_t BatchLimit(const std::vector<SimJob>& jobs, int picked,
-                     TaskKind kind, int total_slots_of_kind,
+  int64_t BatchLimit(Span<SimJob> jobs, int picked, TaskKind kind,
+                     int total_slots_of_kind,
                      const SchedulerContext& context) override;
 
  private:

@@ -2,6 +2,7 @@
 #define SWIM_SIM_SWEEP_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,24 +22,50 @@ struct SweepConfig {
   ReplayOptions options;
 };
 
+/// Knobs for RunSweep beyond the config list.
+struct SweepOptions {
+  /// Worker lanes for this sweep; 0 means DefaultParallelism() (the
+  /// SWIM_THREADS environment variable).
+  int max_parallelism = 0;
+  /// When set, invoked once per completed cell with (cells completed so
+  /// far, total cells) — the hook behind `swim_replay --sweep-progress`.
+  /// Called concurrently from worker lanes, so it must be thread-safe;
+  /// counts can arrive slightly out of order across lanes.
+  std::function<void(size_t, size_t)> progress;
+};
+
 /// Replays every configuration across the shared thread pool and returns
 /// the results in configuration order.
 ///
+/// Scaling design (the ISSUE 6 rebuild): the per-trace build work is
+/// hoisted into one shared ReplayTemplate per distinct trace (skeletons +
+/// dependency graph computed once, not once per cell), each worker lane
+/// owns a private Arena that backs all of a run's containers and is
+/// Reset() between cells (shared-nothing lanes, ~zero heap mallocs once
+/// warm), and result slots are cache-line-aligned with each cell's
+/// ReplayResult built lane-locally and move-assigned into its slot — no
+/// cross-lane write sharing on the hot path.
+///
 /// Determinism contract (how evaluation sweeps stay reproducible, per the
 /// paper's §7 methodology of comparing schedulers on the same replayed
-/// trace): each ReplayTrace run is already a pure function of its
-/// (trace, options) — per-run RNG streams are derived from
-/// options.seed alone, and runs share no mutable state — so executing
-/// them concurrently cannot perturb any individual result, and slotting
-/// results by configuration index makes the returned vector byte-identical
-/// at any `max_parallelism` / `SWIM_THREADS`, including 1. Tests replay
-/// sweeps serially and at 8 lanes and require bit-identical results.
+/// trace): each cell's result is a pure function of its (trace, options)
+/// — per-run RNG streams are derived from options.seed alone, the shared
+/// template is immutable, and lanes share no mutable state — so the
+/// returned vector is byte-identical at any `max_parallelism` /
+/// `SWIM_THREADS`, including 1. Tests replay sweeps at 1/4/8 lanes and
+/// require bit-identical results.
 ///
 /// A configuration with a null trace (or one ReplayTrace rejects) yields
-/// an error StatusOr in its slot; other runs are unaffected.
-///
-/// `max_parallelism` bounds worker lanes for this sweep; 0 means
-/// DefaultParallelism() (the SWIM_THREADS environment variable).
+/// an error StatusOr in its slot; other runs are unaffected. Cells whose
+/// options disagree with the shared template's captured fields
+/// (max_tasks_per_job, small_job_bytes, dependencies differ from the
+/// first cell on that trace) transparently fall back to a private
+/// per-cell build — same results, just without the sharing.
+std::vector<StatusOr<ReplayResult>> RunSweep(
+    const std::vector<SweepConfig>& configs,
+    const SweepOptions& sweep_options);
+
+/// Back-compat shorthand: RunSweep with only a lane bound.
 std::vector<StatusOr<ReplayResult>> RunSweep(
     const std::vector<SweepConfig>& configs, int max_parallelism = 0);
 

@@ -656,5 +656,90 @@ TEST(EngineBaselineTest, BitIdenticalOnSaturatedTinyCluster) {
   }
 }
 
+// --- ReplayTemplate: the shared build phase behind sweeps ------------------
+
+TEST(ReplayTemplateTest, BuildOnceReplayManyMatchesBothEngines) {
+  trace::Trace t = Fb2010Style(300, 61);
+  auto tpl = ReplayTemplate::Build(t);
+  ASSERT_TRUE(tpl.ok());
+  EXPECT_EQ(tpl->job_count(), 300u);
+  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+    for (uint64_t seed : {7u, 19u}) {
+      ReplayOptions options;
+      options.cluster.nodes = 12;
+      options.scheduler = policy;
+      options.seed = seed;
+      options.straggler_probability = 0.05;
+      options.failures.task_failure_probability = 0.03;
+      auto shared = tpl->Replay(options);
+      auto direct = ReplayTrace(t, options);
+      auto legacy = ReplayTraceLegacy(t, options);
+      ASSERT_TRUE(shared.ok());
+      ASSERT_TRUE(direct.ok());
+      ASSERT_TRUE(legacy.ok());
+      ExpectBitIdentical(*shared, *direct, policy);
+      ExpectBitIdentical(*shared, *legacy, policy);
+    }
+  }
+}
+
+TEST(ReplayTemplateTest, ArenaResetReuseStaysBitIdentical) {
+  trace::Trace t = Fb2010Style(250, 33);
+  ReplayOptions base;
+  base.cluster.nodes = 8;
+  // Chain some jobs so the CSR dependency path runs arena-backed too.
+  for (uint64_t id = 10; id <= 250; id += 10) base.dependencies[id] = {id - 5};
+  auto tpl = ReplayTemplate::Build(t, base);
+  ASSERT_TRUE(tpl.ok());
+  Arena arena;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ReplayOptions options = base;
+    options.scheduler = (epoch % 2 == 0) ? "fair" : "two-tier";
+    options.seed = 100 + static_cast<uint64_t>(epoch);
+    auto warm = tpl->Replay(options, &arena);
+    arena.Reset();
+    auto fresh = tpl->Replay(options);  // no arena: plain heap
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(fresh.ok());
+    ExpectBitIdentical(*warm, *fresh, "arena epoch");
+  }
+  // Warm lanes re-carve blocks instead of growing the reservation.
+  const size_t reserved = arena.reserved_bytes();
+  ReplayOptions options = base;
+  auto again = tpl->Replay(options, &arena);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+TEST(ReplayTemplateTest, RejectsOptionsTheTemplateWasNotBuiltFor) {
+  trace::Trace t = Fb2010Style(50, 5);
+  auto tpl = ReplayTemplate::Build(t);
+  ASSERT_TRUE(tpl.ok());
+
+  ReplayOptions sweepable;  // per-run axes may differ freely
+  sweepable.scheduler = "fair";
+  sweepable.cluster.nodes = 3;
+  sweepable.seed = 999;
+  sweepable.straggler_probability = 0.5;
+  sweepable.failures.task_failure_probability = 0.2;
+  EXPECT_TRUE(tpl->Compatible(sweepable));
+  EXPECT_TRUE(tpl->Replay(sweepable).ok());
+
+  ReplayOptions different_cap;
+  different_cap.max_tasks_per_job = 17;
+  EXPECT_FALSE(tpl->Compatible(different_cap));
+  EXPECT_FALSE(tpl->Replay(different_cap).ok());
+
+  ReplayOptions different_threshold;
+  different_threshold.small_job_bytes = 1.0;
+  EXPECT_FALSE(tpl->Compatible(different_threshold));
+  EXPECT_FALSE(tpl->Replay(different_threshold).ok());
+
+  ReplayOptions different_deps;
+  different_deps.dependencies[2] = {1};
+  EXPECT_FALSE(tpl->Compatible(different_deps));
+  EXPECT_FALSE(tpl->Replay(different_deps).ok());
+}
+
 }  // namespace
 }  // namespace swim::sim

@@ -1,6 +1,7 @@
 // Tests for the parallel sweep driver (sim/sweep.h): results must come
 // back in configuration order, bit-identical at any worker-lane count
 // (SWIM_THREADS), with per-cell errors isolated to their slot.
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -150,6 +151,88 @@ TEST(SweepTest, BadCellErrorsStayInTheirSlot) {
 
 TEST(SweepTest, EmptySweepReturnsEmpty) {
   EXPECT_TRUE(RunSweep({}).empty());
+}
+
+TEST(SweepTest, TemplateSweepMatchesPerConfigReplayAtEveryLaneCount) {
+  // The ISSUE 6 pin: the template+arena sweep path vs a fresh
+  // per-configuration ReplayTrace, bit-identical at 1, 4, and 8 lanes.
+  trace::Trace t = MixedTrace(130);
+  ReplayOptions base;
+  base.cluster.nodes = 3;
+  base.straggler_probability = 0.1;
+  base.failures.task_failure_probability = 0.08;
+  std::vector<SweepConfig> grid =
+      SweepGrid(t, base, {"fifo", "fair", "two-tier"}, {2, 4}, {5, 11});
+  std::vector<StatusOr<ReplayResult>> oracle;
+  oracle.reserve(grid.size());
+  for (const SweepConfig& config : grid) {
+    oracle.push_back(ReplayTrace(*config.trace, config.options));
+  }
+  for (int lanes : {1, 4, 8}) {
+    std::vector<StatusOr<ReplayResult>> swept = RunSweep(grid, lanes);
+    ASSERT_EQ(swept.size(), oracle.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      ASSERT_TRUE(swept[i].ok()) << grid[i].label << " lanes=" << lanes;
+      ASSERT_TRUE(oracle[i].ok()) << grid[i].label;
+      ExpectIdentical(*swept[i], *oracle[i]);
+    }
+  }
+}
+
+TEST(SweepTest, ProgressReportsEveryCellAndFinishesAtTotal) {
+  trace::Trace t = MixedTrace(40);
+  ReplayOptions base;
+  base.cluster.nodes = 2;
+  std::vector<SweepConfig> grid = SweepGrid(t, base, {"fifo", "fair"}, {2},
+                                            {1, 2, 3, 4, 5, 6, 7, 8});
+  SweepOptions sweep_options;
+  sweep_options.max_parallelism = 4;
+  std::atomic<size_t> calls{0};
+  std::atomic<size_t> finals{0};
+  std::atomic<bool> total_consistent{true};
+  sweep_options.progress = [&](size_t done, size_t total) {
+    calls.fetch_add(1);
+    if (total != 16u || done == 0 || done > total) {
+      total_consistent = false;
+    }
+    if (done == total) finals.fetch_add(1);
+  };
+  std::vector<StatusOr<ReplayResult>> results = RunSweep(grid, sweep_options);
+  ASSERT_EQ(results.size(), 16u);
+  EXPECT_EQ(calls.load(), 16u);   // once per completed cell
+  EXPECT_EQ(finals.load(), 1u);   // exactly one (total, total) call
+  EXPECT_TRUE(total_consistent.load());
+}
+
+TEST(SweepTest, IncompatibleCellsFallBackToPrivateBuilds) {
+  // Cells whose template-relevant options disagree with the first cell
+  // on the trace cannot share its template; they must still replay
+  // exactly like a standalone ReplayTrace, just without sharing.
+  trace::Trace t = MixedTrace(60);
+  ReplayOptions plain;
+  plain.cluster.nodes = 2;
+  ReplayOptions capped = plain;
+  capped.max_tasks_per_job = 2;  // different skeletons entirely
+  ReplayOptions rethresholded = plain;
+  rethresholded.small_job_bytes = 1.0;  // every job classified large
+  ReplayOptions chained = plain;
+  chained.dependencies[2] = {1};
+  std::vector<SweepConfig> configs;
+  configs.push_back({"plain", &t, plain});
+  configs.push_back({"capped", &t, capped});
+  configs.push_back({"rethresholded", &t, rethresholded});
+  configs.push_back({"chained", &t, chained});
+  std::vector<StatusOr<ReplayResult>> results = RunSweep(configs, 2);
+  ASSERT_EQ(results.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << configs[i].label;
+    auto serial = ReplayTrace(*configs[i].trace, configs[i].options);
+    ASSERT_TRUE(serial.ok()) << configs[i].label;
+    ExpectIdentical(*results[i], *serial);
+  }
+  // The fallback cells really did diverge from the shared template.
+  EXPECT_NE(results[1]->outcomes[0].latency,
+            results[0]->outcomes[0].latency);
 }
 
 }  // namespace

@@ -5,7 +5,8 @@
 //               [--task-failures P] [--node-loss R] [--max-attempts N]
 //               [--retry-backoff S] [--failure-point F] [--seed S]
 //               [--sweep fifo,fair,...] [--sweep-nodes N1,N2,...]
-//               [--sweep-seeds S1,S2,...]
+//               [--sweep-seeds S1,S2,...] [--sweep-lanes N]
+//               [--sweep-progress]
 //
 // Prints per-tier latency quantiles, utilization, and occupancy peaks -
 // what a scheduler experiment on a real cluster would report. With
@@ -15,7 +16,12 @@
 // --sweep runs the policy x node-count x seed grid concurrently across
 // the thread pool (sim/sweep.h) and prints one line per cell in grid
 // order; unswept axes default to the single-run flags. Output is
-// byte-identical at any SWIM_THREADS.
+// byte-identical at any SWIM_THREADS. --sweep-lanes bounds the worker
+// lanes for this run without touching the environment; --sweep-progress
+// tickers completed/total cells to stderr (stdout stays clean for
+// redirection) so a 10k-configuration what-if sweep is observable while
+// it runs.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -40,7 +46,8 @@ int Usage() {
       "                   [--max-attempts N] [--retry-backoff S] "
       "[--failure-point F] [--seed S]\n"
       "                   [--sweep fifo,fair,...] "
-      "[--sweep-nodes N1,N2,...] [--sweep-seeds S1,S2,...]\n");
+      "[--sweep-nodes N1,N2,...] [--sweep-seeds S1,S2,...]\n"
+      "                   [--sweep-lanes N] [--sweep-progress]\n");
   return 2;
 }
 
@@ -53,11 +60,18 @@ int main(int argc, char** argv) {
   sim::ReplayOptions options;
   trace::ParseOptions parse_options;
   bool sweep = false;
+  bool sweep_progress = false;
+  int sweep_lanes = 0;
   std::vector<std::string> sweep_policies;
   std::vector<int> sweep_nodes;
   std::vector<uint64_t> sweep_seeds;
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
+    if (flag == "--sweep-progress") {  // the one valueless flag
+      sweep = true;
+      sweep_progress = true;
+      continue;
+    }
     std::string value;
     // Accept both `--flag value` and `--flag=value`.
     size_t eq = flag.find('=');
@@ -113,6 +127,13 @@ int main(int argc, char** argv) {
           sweep_seeds.push_back(std::strtoull(s.c_str(), nullptr, 10));
         }
       }
+    } else if (flag == "--sweep-lanes") {
+      sweep = true;
+      sweep_lanes = std::atoi(value.c_str());
+      if (sweep_lanes < 1) {
+        std::fprintf(stderr, "--sweep-lanes needs a positive lane count\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
@@ -137,8 +158,22 @@ int main(int argc, char** argv) {
     if (sweep_seeds.empty()) sweep_seeds.push_back(options.seed);
     std::vector<sim::SweepConfig> configs = sim::SweepGrid(
         *trace, options, sweep_policies, sweep_nodes, sweep_seeds);
+    sim::SweepOptions sweep_options;
+    sweep_options.max_parallelism = sweep_lanes;
+    if (sweep_progress) {
+      // Throttle the ticker to ~1% steps. Lanes report counts slightly
+      // out of order, but each fprintf is one atomic write and the
+      // done == total line always fires, so the display converges.
+      sweep_options.progress = [](size_t done, size_t total) {
+        const size_t step = std::max<size_t>(1, total / 100);
+        if (done % step == 0 || done == total) {
+          std::fprintf(stderr, "\rsweep: %zu/%zu configs%s", done, total,
+                       done == total ? "\n" : "");
+        }
+      };
+    }
     std::vector<StatusOr<sim::ReplayResult>> results =
-        sim::RunSweep(configs);
+        sim::RunSweep(configs, sweep_options);
     std::printf("sweep: %zu configurations over %zu jobs\n", configs.size(),
                 trace->size());
     int failures = 0;
