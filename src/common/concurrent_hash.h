@@ -1,0 +1,434 @@
+#ifndef SWIM_COMMON_CONCURRENT_HASH_H_
+#define SWIM_COMMON_CONCURRENT_HASH_H_
+
+// Concurrent hash containers for shared-state parallelism: the layer that
+// lets parallel CSV ingest, the interner, and the counting analyses build
+// ONE shared index across ParallelFor workers instead of N private tables
+// merged serially (the partition-then-merge tax every parallel pass used
+// to pay).
+//
+// Two containers, two contention strategies:
+//
+// - ConcurrentHashMap<K, V>: the trace population is Zipf-skewed but the
+//   key set is unbounded, so the map is sharded 64 ways by high hash bits;
+//   each shard is a FlatHashMap behind a writer-preferring versioned latch
+//   (readers enter optimistically with a CAS when no writer holds the
+//   shard, writers take a mutex, raise the writer bit, and wait readers
+//   out). A raw seqlock — readers racing a rehash and retrying on version
+//   mismatch — was rejected deliberately: a rehash frees the slot arrays,
+//   so an optimistic reader could fault on unmapped memory, and the racy
+//   reads would (correctly) fail TSan, which gates this header in CI.
+//   Read-mostly lookups therefore cost one CAS + one uncontended atomic
+//   decrement per probe; writes serialize only within their shard.
+//
+// - ConcurrentCounter<K>: increment-heavy Zipf workloads (file-popularity
+//   counting) never erase and never read mid-stream, so the counter drops
+//   locks entirely: an open-addressed table of atomic key slots claimed by
+//   CAS, each with an atomic count bumped by fetch_add. Reads and
+//   increments are lock-free; hot keys contend only on their own count
+//   cache line. The table does not grow in place — Reserve() before the
+//   parallel region; keys past the fill cap spill to a small mutex-guarded
+//   overflow map so under-reservation degrades instead of breaking.
+//
+// Both containers are TSan-clean by construction (every shared word is a
+// std::atomic or accessed under a latch) and deterministic in CONTENT at
+// quiescence: sums and key sets are interleaving-independent, iteration
+// order is not — callers needing byte-stable output index by key (dense
+// ids) or sort, exactly as ShardedInterner's canonical post-pass does.
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/flat_hash.h"
+
+namespace swim {
+
+// --- Shard latch --------------------------------------------------------
+
+/// Writer-preferring reader/writer latch, sized for one-per-shard use.
+/// state_ holds (reader_count << 1) | writer_bit. Readers spin-CAS the
+/// count up while the writer bit is clear; a writer takes the (per-latch)
+/// mutex to serialize with other writers, raises the bit to stop new
+/// readers, then waits the reader count down to zero.
+class ShardLatch {
+ public:
+  void lock_shared() const {
+    int spins = 0;
+    for (;;) {
+      uint64_t state = state_.load(std::memory_order_relaxed);
+      if ((state & kWriterBit) == 0) {
+        if (state_.compare_exchange_weak(state, state + kReaderUnit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;  // lost the CAS to another reader; retry immediately
+      }
+      Backoff(&spins);
+    }
+  }
+  void unlock_shared() const {
+    state_.fetch_sub(kReaderUnit, std::memory_order_release);
+  }
+
+  void lock() {
+    writer_mu_.lock();
+    state_.fetch_or(kWriterBit, std::memory_order_acquire);
+    int spins = 0;
+    while (state_.load(std::memory_order_acquire) != kWriterBit) {
+      Backoff(&spins);  // drain in-flight readers
+    }
+  }
+  void unlock() {
+    state_.fetch_and(~kWriterBit, std::memory_order_release);
+    writer_mu_.unlock();
+  }
+
+ private:
+  static constexpr uint64_t kWriterBit = 1;
+  static constexpr uint64_t kReaderUnit = 2;
+
+  static void Backoff(int* spins) {
+    if (++*spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  mutable std::atomic<uint64_t> state_{0};
+  std::mutex writer_mu_;
+};
+
+/// RAII guards matching std::shared_lock / std::unique_lock shapes.
+class SharedLatchGuard {
+ public:
+  explicit SharedLatchGuard(const ShardLatch& latch) : latch_(latch) {
+    latch_.lock_shared();
+  }
+  ~SharedLatchGuard() { latch_.unlock_shared(); }
+  SharedLatchGuard(const SharedLatchGuard&) = delete;
+  SharedLatchGuard& operator=(const SharedLatchGuard&) = delete;
+
+ private:
+  const ShardLatch& latch_;
+};
+
+class ExclusiveLatchGuard {
+ public:
+  explicit ExclusiveLatchGuard(ShardLatch& latch) : latch_(latch) {
+    latch_.lock();
+  }
+  ~ExclusiveLatchGuard() { latch_.unlock(); }
+  ExclusiveLatchGuard(const ExclusiveLatchGuard&) = delete;
+  ExclusiveLatchGuard& operator=(const ExclusiveLatchGuard&) = delete;
+
+ private:
+  ShardLatch& latch_;
+};
+
+// --- ConcurrentHashMap --------------------------------------------------
+
+/// Sharded concurrent map. Keys hash once; the top hash bits pick the
+/// shard (disjoint from the bits FlatHashMap probes with), the FlatHashMap
+/// inside the shard does the rest. All methods are thread-safe unless
+/// noted; values are returned BY COPY because references into a shard
+/// would dangle the moment its latch drops.
+template <typename K, typename V, typename Hash = FlatHash,
+          typename Eq = FlatEq>
+class ConcurrentHashMap {
+ public:
+  /// `shard_count` is rounded up to a power of two; 0 means the default
+  /// (64 — enough that 8 workers on distinct keys rarely collide, small
+  /// enough that ForEach stays cheap).
+  explicit ConcurrentHashMap(size_t shard_count = 0) {
+    size_t shards = shard_count == 0 ? kDefaultShards : shard_count;
+    size_t rounded = 1;
+    while (rounded < shards) rounded *= 2;
+    shards_ = std::make_unique<Shard[]>(rounded);
+    shard_mask_ = rounded - 1;
+  }
+
+  size_t shard_count() const { return shard_mask_ + 1; }
+
+  /// Which shard a key lands in; stable for the map's lifetime. Lets
+  /// companion per-shard state (e.g. ShardedInterner's arenas) key off the
+  /// same partition.
+  template <typename LookupKey>
+  size_t ShardOf(const LookupKey& key) const {
+    return ShardIndex(hash_(key));
+  }
+
+  /// Pre-sizes every shard for `expected_total` entries spread evenly.
+  /// NOT thread-safe; call before the parallel region.
+  void Reserve(size_t expected_total) {
+    size_t per_shard = expected_total / shard_count() + 1;
+    for (size_t i = 0; i <= shard_mask_; ++i) {
+      shards_[i].map.reserve(per_shard);
+    }
+  }
+
+  template <typename LookupKey>
+  bool Contains(const LookupKey& key) const {
+    const Shard& shard = shards_[ShardOf(key)];
+    SharedLatchGuard guard(shard.latch);
+    return shard.map.contains(key);
+  }
+
+  /// Copies the value for `key` into `*out`; false when absent.
+  template <typename LookupKey>
+  bool Find(const LookupKey& key, V* out) const {
+    const Shard& shard = shards_[ShardOf(key)];
+    SharedLatchGuard guard(shard.latch);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// Inserts or overwrites; returns true when the key was new.
+  bool InsertOrAssign(const K& key, V value) {
+    Shard& shard = shards_[ShardOf(key)];
+    ExclusiveLatchGuard guard(shard.latch);
+    auto [it, inserted] = shard.map.TryEmplace(key);
+    it->second = std::move(value);
+    return inserted;
+  }
+
+  /// Read-mostly upsert: probes under the shared latch first (the hit path
+  /// takes no exclusive lock at all), then upgrades and re-checks. On first
+  /// insertion `make()` runs under the shard's write latch and must return
+  /// the {key, value} pair to store — which lets callers materialize owned
+  /// keys (arena copies) exactly once, inside the critical section.
+  /// Returns {value copy, inserted}.
+  template <typename LookupKey, typename EmplaceFn>
+  std::pair<V, bool> GetOrEmplace(const LookupKey& key, EmplaceFn&& make) {
+    Shard& shard = shards_[ShardOf(key)];
+    {
+      SharedLatchGuard guard(shard.latch);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) return {it->second, false};
+    }
+    ExclusiveLatchGuard guard(shard.latch);
+    auto it = shard.map.find(key);  // may have raced in between
+    if (it != shard.map.end()) return {it->second, false};
+    std::pair<K, V> stored = make();
+    V value = stored.second;
+    shard.map.TryEmplace(std::move(stored.first), std::move(stored.second));
+    return {std::move(value), true};
+  }
+
+  template <typename LookupKey>
+  size_t Erase(const LookupKey& key) {
+    Shard& shard = shards_[ShardOf(key)];
+    ExclusiveLatchGuard guard(shard.latch);
+    return shard.map.erase(key);
+  }
+
+  /// Sum of shard sizes. Exact at quiescence; a racing snapshot otherwise.
+  size_t size() const {
+    size_t total = 0;
+    for (size_t i = 0; i <= shard_mask_; ++i) {
+      SharedLatchGuard guard(shards_[i].latch);
+      total += shards_[i].map.size();
+    }
+    return total;
+  }
+
+  /// Visits every entry shard by shard under that shard's read latch.
+  /// Within-shard order is FlatHashMap iteration order and across-shard
+  /// order is shard index order — stable for a fixed insertion history but
+  /// NOT across different thread interleavings; determinism-sensitive
+  /// callers must sort or re-index what they collect.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i <= shard_mask_; ++i) {
+      SharedLatchGuard guard(shards_[i].latch);
+      for (const auto& kv : shards_[i].map) fn(kv.first, kv.second);
+    }
+  }
+
+  void Clear() {
+    for (size_t i = 0; i <= shard_mask_; ++i) {
+      ExclusiveLatchGuard guard(shards_[i].latch);
+      shards_[i].map.clear();
+    }
+  }
+
+ private:
+  static constexpr size_t kDefaultShards = 64;
+
+  struct Shard {
+    mutable ShardLatch latch;
+    FlatHashMap<K, V, Hash, Eq> map;
+  };
+
+  /// Top hash bits pick the shard; FlatHashMap consumes the low bits, so
+  /// within-shard probing stays well distributed.
+  size_t ShardIndex(uint64_t hash) const {
+    return (hash >> 48) & shard_mask_;
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_mask_ = 0;
+  [[no_unique_address]] Hash hash_;
+};
+
+// --- ConcurrentCounter --------------------------------------------------
+
+/// Lock-free counting table for integral keys (interned ids, dense ranks,
+/// 64-bit hashes) under Zipf-skewed, increment-heavy load. Add() and
+/// Count() never take a lock as long as the table was Reserve()d for the
+/// distinct-key population; the few keys past the fill cap spill to a
+/// mutex-guarded overflow map rather than corrupting the table.
+///
+/// Key encoding: slots store key + 1 so the zero word doubles as the empty
+/// sentinel; keys up to 2^64 - 2 are representable, which covers every id
+/// space in the repo (kNoStringId included).
+template <typename K>
+class ConcurrentCounter {
+  static_assert(std::is_integral_v<K>, "ConcurrentCounter keys are integral");
+
+ public:
+  explicit ConcurrentCounter(size_t expected_keys = 0) {
+    Reserve(expected_keys);
+  }
+
+  ConcurrentCounter(const ConcurrentCounter&) = delete;
+  ConcurrentCounter& operator=(const ConcurrentCounter&) = delete;
+
+  /// Sizes the table for `expected_keys` distinct keys at <= 50% load.
+  /// NOT thread-safe: call before the parallel region. Existing counts are
+  /// discarded (the counter is a build-once structure, not a store).
+  void Reserve(size_t expected_keys) {
+    size_t capacity = kMinCapacity;
+    while (capacity < expected_keys * 2) capacity *= 2;
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    fill_cap_ = capacity - capacity / 4;  // >= 1/4 empty: probes terminate
+    slots_ = std::make_unique<Slot[]>(capacity);
+    filled_.store(0, std::memory_order_relaxed);
+    overflow_.clear();
+  }
+
+  /// Thread-safe increment. Lock-free unless the table is past its fill
+  /// cap and `key` is unseen (overflow path).
+  void Add(K key, uint64_t delta = 1) {
+    const uint64_t encoded = Encode(key);
+    size_t index = IndexFor(key);
+    for (;;) {
+      uint64_t current = slots_[index].key.load(std::memory_order_acquire);
+      if (current == encoded) {
+        slots_[index].count.fetch_add(delta, std::memory_order_relaxed);
+        return;
+      }
+      if (current == 0) {
+        if (filled_.load(std::memory_order_relaxed) >= fill_cap_) {
+          AddOverflow(key, delta);
+          return;
+        }
+        uint64_t expected = 0;
+        if (slots_[index].key.compare_exchange_strong(
+                expected, encoded, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          filled_.fetch_add(1, std::memory_order_relaxed);
+          slots_[index].count.fetch_add(delta, std::memory_order_relaxed);
+          return;
+        }
+        if (expected == encoded) {
+          slots_[index].count.fetch_add(delta, std::memory_order_relaxed);
+          return;
+        }
+        // Another key claimed this slot between the load and the CAS.
+      }
+      index = (index + 1) & mask_;
+    }
+  }
+
+  /// Thread-safe read; lock-free when `key` lives in the main table (it
+  /// always does if Reserve() covered the population). Counts racing with
+  /// concurrent Add()s are lower bounds; exact at quiescence.
+  uint64_t Count(K key) const {
+    const uint64_t encoded = Encode(key);
+    size_t index = IndexFor(key);
+    for (;;) {
+      uint64_t current = slots_[index].key.load(std::memory_order_acquire);
+      if (current == encoded) {
+        return slots_[index].count.load(std::memory_order_relaxed);
+      }
+      if (current == 0) break;
+      index = (index + 1) & mask_;
+    }
+    std::lock_guard<std::mutex> guard(overflow_mu_);
+    auto it = overflow_.find(key);
+    return it != overflow_.end() ? it->second : 0;
+  }
+
+  /// Distinct keys seen. Exact at quiescence.
+  size_t Distinct() const {
+    size_t total = filled_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> guard(overflow_mu_);
+    return total + overflow_.size();
+  }
+
+  /// True when some keys spilled past the reserved table (reservation was
+  /// too small for the population).
+  bool Overflowed() const {
+    std::lock_guard<std::mutex> guard(overflow_mu_);
+    return !overflow_.empty();
+  }
+
+  /// Visits every (key, count) once. Quiescent use only (no concurrent
+  /// Add). Order is slot order — interleaving-dependent; callers needing
+  /// deterministic output index by key.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      uint64_t encoded = slots_[i].key.load(std::memory_order_acquire);
+      if (encoded == 0) continue;
+      fn(Decode(encoded), slots_[i].count.load(std::memory_order_relaxed));
+    }
+    std::lock_guard<std::mutex> guard(overflow_mu_);
+    for (const auto& [key, count] : overflow_) fn(key, count);
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 64;
+
+  struct Slot {
+    std::atomic<uint64_t> key{0};  // 0 = empty, else Encode(key)
+    std::atomic<uint64_t> count{0};
+  };
+
+  static uint64_t Encode(K key) { return static_cast<uint64_t>(key) + 1; }
+  static K Decode(uint64_t encoded) { return static_cast<K>(encoded - 1); }
+
+  size_t IndexFor(K key) const {
+    return MixHash64(static_cast<uint64_t>(key)) & mask_;
+  }
+
+  void AddOverflow(K key, uint64_t delta) {
+    std::lock_guard<std::mutex> guard(overflow_mu_);
+    overflow_[key] += delta;
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t fill_cap_ = 0;
+  std::atomic<size_t> filled_{0};
+  mutable std::mutex overflow_mu_;
+  FlatHashMap<K, uint64_t> overflow_;
+};
+
+}  // namespace swim
+
+#endif  // SWIM_COMMON_CONCURRENT_HASH_H_

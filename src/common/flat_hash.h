@@ -9,6 +9,14 @@
 // pointer walk. Capacity is a power of two; the probe sequence steps over
 // groups with triangular increments, which visits every group exactly once.
 //
+// Group scans go through one `Group` abstraction with three backends —
+// SSE2 (one _mm_cmpeq_epi8 + movemask per 16 control bytes), NEON
+// (vceqq_u8 + horizontal add on AArch64), and a portable word-at-a-time
+// fallback — so the probe loops are written once and the ISA is an
+// implementation detail. `FlatHashSimdName()` reports which backend this
+// translation unit compiled in; benches pin GroupPortable explicitly via
+// the GroupPolicy template parameter to measure the SIMD delta.
+//
 // The default hashers are transparent: FlatHashMap<std::string, V> lookups
 // accept std::string_view (and const char*) without constructing a
 // temporary std::string. Iteration order is unspecified but deterministic
@@ -27,6 +35,15 @@
 #include <string_view>
 #include <type_traits>
 #include <utility>
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define SWIM_FLAT_HASH_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define SWIM_FLAT_HASH_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace swim {
 
@@ -140,57 +157,137 @@ inline bool IsFull(uint8_t ctrl) { return (ctrl & 0x80) == 0; }
 inline uint8_t H2(uint64_t hash) { return static_cast<uint8_t>(hash & 0x7f); }
 inline uint64_t H1(uint64_t hash) { return hash >> 7; }
 
-/// Scans one 16-byte control group as two 8-byte words. Returns a bitmask
-/// of byte positions matching `byte` (word-at-a-time zero-byte trick on
-/// ctrl XOR broadcast(byte)).
-inline uint32_t MatchByteMask(const uint8_t* group, uint8_t byte) {
-  constexpr uint64_t kLsb = 0x0101010101010101ULL;
-  constexpr uint64_t kMsb = 0x8080808080808080ULL;
-  const uint64_t pattern = kLsb * byte;
-  uint32_t mask = 0;
-  for (int w = 0; w < 2; ++w) {
-    uint64_t word;
-    std::memcpy(&word, group + w * 8, 8);
-    uint64_t x = word ^ pattern;
-    uint64_t zeros = (x - kLsb) & ~x & kMsb;
-    // One bit per zero byte, compressed to positions 0..7.
-    while (zeros != 0) {
-      int byte_index = __builtin_ctzll(zeros) >> 3;
-      mask |= 1u << (w * 8 + byte_index);
-      zeros &= zeros - 1;
-    }
-  }
-  return mask;
-}
+// Each Group backend loads one 16-byte control group and answers three
+// queries as 16-bit masks (bit i set <=> control byte i matches):
+//   Match(h2)      — full slots whose H2 tag equals h2
+//   MatchEmpty()   — kEmpty bytes (probe chains terminate here)
+//   MatchNonFull() — kEmpty or kDeleted bytes (insertable slots)
 
-/// Bitmask of empty (not tombstone) bytes in the group.
-inline uint32_t MatchEmptyMask(const uint8_t* group) {
-  return MatchByteMask(group, kEmpty);
-}
-
-/// Bitmask of empty-or-tombstone bytes (insertable slots).
-inline uint32_t MatchNonFullMask(const uint8_t* group) {
-  constexpr uint64_t kMsb = 0x8080808080808080ULL;
-  uint32_t mask = 0;
-  for (int w = 0; w < 2; ++w) {
-    uint64_t word;
-    std::memcpy(&word, group + w * 8, 8);
-    uint64_t high = word & kMsb;  // high bit set <=> empty or deleted
-    while (high != 0) {
-      int byte_index = __builtin_ctzll(high) >> 3;
-      mask |= 1u << (w * 8 + byte_index);
-      high &= high - 1;
-    }
+/// Portable fallback: two 8-byte words, zero-byte trick for Match, high-bit
+/// extraction compressed to a movemask-shaped result via multiply.
+class GroupPortable {
+ public:
+  explicit GroupPortable(const uint8_t* ctrl) {
+    std::memcpy(&lo_, ctrl, 8);
+    std::memcpy(&hi_, ctrl + 8, 8);
   }
-  return mask;
-}
+
+  uint32_t Match(uint8_t byte) const {
+    const uint64_t pattern = kLsb * byte;
+    return HighBitsToMask(ZeroBytes(lo_ ^ pattern)) |
+           (HighBitsToMask(ZeroBytes(hi_ ^ pattern)) << 8);
+  }
+
+  uint32_t MatchEmpty() const { return Match(kEmpty); }
+
+  uint32_t MatchNonFull() const {
+    // High bit set <=> empty or deleted.
+    return HighBitsToMask(lo_ & kMsb) | (HighBitsToMask(hi_ & kMsb) << 8);
+  }
+
+ private:
+  static constexpr uint64_t kLsb = 0x0101010101010101ULL;
+  static constexpr uint64_t kMsb = 0x8080808080808080ULL;
+
+  /// High bit of each zero byte in x. Exact (no false positives): adding
+  /// 0x7f to the low 7 bits of each byte sets bit 7 iff those bits are
+  /// nonzero, and cannot carry across bytes — unlike the classic
+  /// (x - kLsb) & ~x trick, whose borrows mark bytes after a true zero.
+  /// Exactness keeps all Group backends bitwise-identical, which the
+  /// portable-vs-SIMD regression test pins.
+  static uint64_t ZeroBytes(uint64_t x) {
+    return ~(((x & ~kMsb) + ~kMsb) | x) & kMsb;
+  }
+  /// Compresses the 8 high bits (positions 7,15,..,63) to mask bits 0..7:
+  /// byte k's indicator bit lands at position 56+k (the multiplier has one
+  /// bit per byte at 2^(56-7k); all partial products occupy distinct bit
+  /// positions, so there are no carries and the pack is exact).
+  static uint32_t HighBitsToMask(uint64_t high) {
+    return static_cast<uint32_t>(((high >> 7) * 0x0102040810204080ULL) >> 56);
+  }
+
+  uint64_t lo_;
+  uint64_t hi_;
+};
+
+#if defined(SWIM_FLAT_HASH_SSE2)
+/// SSE2: one 16-byte compare + sign-bit movemask per query.
+class GroupSse2 {
+ public:
+  explicit GroupSse2(const uint8_t* ctrl)
+      : group_(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+
+  uint32_t Match(uint8_t byte) const {
+    return static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(group_, _mm_set1_epi8(static_cast<char>(byte)))));
+  }
+  uint32_t MatchEmpty() const { return Match(kEmpty); }
+  uint32_t MatchNonFull() const {
+    // movemask collects the high bit of every byte directly.
+    return static_cast<uint32_t>(_mm_movemask_epi8(group_));
+  }
+
+ private:
+  __m128i group_;
+};
+using Group = GroupSse2;
+#elif defined(SWIM_FLAT_HASH_NEON)
+/// NEON (AArch64): byte-equality compare, then per-byte bit weights summed
+/// horizontally into a 16-bit movemask equivalent.
+class GroupNeon {
+ public:
+  explicit GroupNeon(const uint8_t* ctrl) : group_(vld1q_u8(ctrl)) {}
+
+  uint32_t Match(uint8_t byte) const {
+    return MoveMask(vceqq_u8(group_, vdupq_n_u8(byte)));
+  }
+  uint32_t MatchEmpty() const { return Match(kEmpty); }
+  uint32_t MatchNonFull() const {
+    return MoveMask(vcgeq_u8(group_, vdupq_n_u8(0x80)));
+  }
+
+ private:
+  static uint32_t MoveMask(uint8x16_t comparison) {
+    static const uint8_t kWeights[16] = {1, 2, 4, 8, 16, 32, 64, 128,
+                                         1, 2, 4, 8, 16, 32, 64, 128};
+    uint8x16_t bits = vandq_u8(comparison, vld1q_u8(kWeights));
+    return static_cast<uint32_t>(vaddv_u8(vget_low_u8(bits))) |
+           (static_cast<uint32_t>(vaddv_u8(vget_high_u8(bits))) << 8);
+  }
+
+  uint8x16_t group_;
+};
+using Group = GroupNeon;
+#else
+using Group = GroupPortable;
+#endif
 
 }  // namespace flat_internal
 
+/// True when this build's default Group backend is SIMD-accelerated.
+inline constexpr bool kFlatHashSimdGroups =
+    !std::is_same_v<flat_internal::Group, flat_internal::GroupPortable>;
+
+/// Name of the default Group backend compiled into this translation unit.
+inline const char* FlatHashSimdName() {
+#if defined(SWIM_FLAT_HASH_SSE2)
+  return "sse2";
+#elif defined(SWIM_FLAT_HASH_NEON)
+  return "neon";
+#else
+  return "portable";
+#endif
+}
+
 // --- FlatHashMap --------------------------------------------------------
 
+/// `GroupPolicy` selects the 16-byte control-group scanner; the default is
+/// the widest ISA available at compile time. Benches pin
+/// flat_internal::GroupPortable to measure the SIMD probing delta — the
+/// two policies produce identical tables (the policy only affects how a
+/// group is scanned, never which slot is chosen).
 template <typename K, typename V, typename Hash = FlatHash,
-          typename Eq = FlatEq>
+          typename Eq = FlatEq, typename GroupPolicy = flat_internal::Group>
 class FlatHashMap {
  public:
   using key_type = K;
@@ -267,6 +364,10 @@ class FlatHashMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return capacity_; }
+  /// Live tombstones (erased slots not yet reclaimed by a rehash). Exposed
+  /// so tests can pin the load-factor invariant size() + tombstones() <=
+  /// 7/8 * capacity() under erase-heavy churn.
+  size_t tombstones() const { return deleted_; }
 
   iterator begin() const { return iterator(this, 0); }
   iterator end() const { return iterator(this, capacity_); }
@@ -278,13 +379,20 @@ class FlatHashMap {
     }
     std::memset(ctrl_, flat_internal::kEmpty, capacity_);
     size_ = 0;
+    deleted_ = 0;
     growth_left_ = GrowthCapacity(capacity_);
   }
 
-  /// Ensures capacity for `n` elements without rehashing mid-insertion.
+  /// Ensures capacity for `n` total elements without rehashing
+  /// mid-insertion. Tombstone-aware: even when the capacity is already
+  /// large enough, accumulated tombstones that would eat the insertion
+  /// headroom (growth triggers on size + deleted, not size alone) force a
+  /// purging rehash now, so the subsequent inserts never rehash.
   void reserve(size_t n) {
     size_t needed = NormalizeCapacity(n);
-    if (needed > capacity_) Rehash(needed);
+    if (needed > capacity_ || (n > size_ && growth_left_ < n - size_)) {
+      Rehash(std::max(needed, capacity_));
+    }
   }
 
   template <typename Key>
@@ -405,16 +513,15 @@ class FlatHashMap {
     size_t group = flat_internal::H1(hash) & group_mask;
     const uint8_t h2 = flat_internal::H2(hash);
     for (size_t step = 0;; ++step) {
-      const uint8_t* ctrl_group =
-          ctrl_ + group * flat_internal::kGroupWidth;
-      uint32_t match = flat_internal::MatchByteMask(ctrl_group, h2);
+      const GroupPolicy ctrl_group(ctrl_ + group * flat_internal::kGroupWidth);
+      uint32_t match = ctrl_group.Match(h2);
       while (match != 0) {
         int offset = __builtin_ctz(match);
         size_t index = group * flat_internal::kGroupWidth + offset;
         if (eq_(slots_[index].first, key)) return index;
         match &= match - 1;
       }
-      if (flat_internal::MatchEmptyMask(ctrl_group) != 0) return kNotFound;
+      if (ctrl_group.MatchEmpty() != 0) return kNotFound;
       group = (group + step + 1) & group_mask;  // triangular probing
       assert(step <= group_count && "flat hash table is over-full");
     }
@@ -423,9 +530,16 @@ class FlatHashMap {
   /// Finds the first insertable slot for `hash`, growing/rehashing first if
   /// the load factor would be exceeded. Returns the slot index and writes
   /// its control byte; the caller constructs the element.
+  ///
+  /// Growth accounting: growth_left_ == GrowthCapacity(capacity) -
+  /// (size + deleted), so the trigger fires on live entries PLUS
+  /// tombstones — an erase-heavy workload whose size stays flat still
+  /// rehashes (in place, purging tombstones) once churn has consumed 7/8
+  /// of the slots, instead of degrading probe chains without bound.
   size_t PrepareInsert(uint64_t hash) {
     if (growth_left_ == 0) {
-      // Tombstone-heavy tables rehash in place; otherwise double.
+      // Mostly-tombstones rehash in place (same capacity, purge); a table
+      // that is at least half live genuinely needs the doubling.
       Rehash(size_ >= capacity_ / 2 ? std::max<size_t>(capacity_ * 2,
                                                        flat_internal::kGroupWidth)
                                     : std::max<size_t>(capacity_,
@@ -435,13 +549,16 @@ class FlatHashMap {
     const size_t group_mask = group_count - 1;
     size_t group = flat_internal::H1(hash) & group_mask;
     for (size_t step = 0;; ++step) {
-      const uint8_t* ctrl_group =
-          ctrl_ + group * flat_internal::kGroupWidth;
-      uint32_t non_full = flat_internal::MatchNonFullMask(ctrl_group);
+      const GroupPolicy ctrl_group(ctrl_ + group * flat_internal::kGroupWidth);
+      uint32_t non_full = ctrl_group.MatchNonFull();
       if (non_full != 0) {
         int offset = __builtin_ctz(non_full);
         size_t index = group * flat_internal::kGroupWidth + offset;
-        if (ctrl_[index] == flat_internal::kEmpty) --growth_left_;
+        if (ctrl_[index] == flat_internal::kEmpty) {
+          --growth_left_;
+        } else {
+          --deleted_;  // reclaimed a tombstone; growth debt already paid
+        }
         ctrl_[index] = flat_internal::H2(hash);
         ++size_;
         return index;
@@ -456,6 +573,7 @@ class FlatHashMap {
     slots_[index].~value_type();
     ctrl_[index] = flat_internal::kDeleted;
     --size_;
+    ++deleted_;  // growth_left_ stays: the slot still lengthens probes
   }
 
   void Rehash(size_t new_capacity) {
@@ -469,6 +587,7 @@ class FlatHashMap {
     slots_ = static_cast<value_type*>(::operator new(
         capacity_ * sizeof(value_type), std::align_val_t(alignof(value_type))));
     size_ = 0;
+    deleted_ = 0;
     growth_left_ = GrowthCapacity(capacity_);
 
     for (size_t i = 0; i < old_capacity; ++i) {
@@ -493,11 +612,13 @@ class FlatHashMap {
     slots_ = other.slots_;
     capacity_ = other.capacity_;
     size_ = other.size_;
+    deleted_ = other.deleted_;
     growth_left_ = other.growth_left_;
     other.ctrl_ = nullptr;
     other.slots_ = nullptr;
     other.capacity_ = 0;
     other.size_ = 0;
+    other.deleted_ = 0;
     other.growth_left_ = 0;
   }
 
@@ -511,6 +632,7 @@ class FlatHashMap {
     slots_ = nullptr;
     capacity_ = 0;
     size_ = 0;
+    deleted_ = 0;
     growth_left_ = 0;
   }
 
@@ -524,7 +646,8 @@ class FlatHashMap {
   value_type* slots_ = nullptr;
   size_t capacity_ = 0;  // always 0 or a power of two multiple of 16
   size_t size_ = 0;
-  size_t growth_left_ = 0;
+  size_t deleted_ = 0;       // live tombstones
+  size_t growth_left_ = 0;   // GrowthCapacity(capacity_) - (size_ + deleted_)
   [[no_unique_address]] Hash hash_;
   [[no_unique_address]] Eq eq_;
 };
@@ -536,9 +659,10 @@ struct Unit {};
 }  // namespace flat_internal
 
 /// Open-addressing set over the same table. Iteration yields `const K&`.
-template <typename K, typename Hash = FlatHash, typename Eq = FlatEq>
+template <typename K, typename Hash = FlatHash, typename Eq = FlatEq,
+          typename GroupPolicy = flat_internal::Group>
 class FlatHashSet {
-  using Table = FlatHashMap<K, flat_internal::Unit, Hash, Eq>;
+  using Table = FlatHashMap<K, flat_internal::Unit, Hash, Eq, GroupPolicy>;
 
  public:
   class iterator {

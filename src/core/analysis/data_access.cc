@@ -1,9 +1,15 @@
 #include "core/analysis/data_access.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 
+#include "common/concurrent_hash.h"
 #include "common/interner.h"
+#include "common/parallel.h"
 #include "stats/descriptive.h"
 #include "storage/access_stream.h"
 
@@ -15,6 +21,32 @@ namespace {
 // per touch instead of a string hash + chained-bucket walk. Ids are
 // assigned in first-appearance order, so every loop below is byte-for-byte
 // deterministic.
+//
+// The popularity and file-size scans additionally go parallel on large
+// traces — ParallelFor workers update ONE shared table (a lock-free
+// ConcurrentCounter for counts, an atomic CAS-max array for sizes) instead
+// of filling private tables merged serially. Both updates are commutative
+// (integer sums, floating max), so the result is identical to the serial
+// scan at any thread count. The chronological re-access scans below stay
+// serial by design: they carry last-access state across the sorted stream.
+
+// Below this many rows the serial loop wins; also keeps tiny-trace tests
+// on the historically exercised path.
+constexpr size_t kParallelScanThreshold = 65536;
+constexpr size_t kScanGrain = 16384;
+
+// Order-preserving bijection double -> uint64: a >= b (finite, non-NaN)
+// iff Key(a) >= Key(b), so integer CAS-max implements floating max.
+uint64_t MonotoneKey(double value) {
+  uint64_t bits = std::bit_cast<uint64_t>(value);
+  return bits ^ ((bits >> 63) != 0 ? ~0ull : 0x8000000000000000ull);
+}
+
+double MonotoneKeyToDouble(uint64_t key) {
+  uint64_t bits =
+      key ^ ((key >> 63) != 0 ? 0x8000000000000000ull : ~0ull);
+  return std::bit_cast<double>(bits);
+}
 
 FilePopularity PopularityFromCounts(const std::vector<size_t>& counts) {
   FilePopularity result;
@@ -34,9 +66,26 @@ FilePopularity PopularityFromCounts(const std::vector<size_t>& counts) {
 FilePopularity ComputePopularity(const trace::Trace& trace, bool use_output) {
   const std::vector<uint32_t>& ids =
       use_output ? trace.output_path_ids() : trace.input_path_ids();
-  std::vector<size_t> counts(trace.path_interner().size(), 0);
-  for (uint32_t id : ids) {
-    if (id != kNoStringId) ++counts[id];
+  const size_t path_count = trace.path_interner().size();
+  std::vector<size_t> counts(path_count, 0);
+  if (ids.size() >= kParallelScanThreshold && DefaultParallelism() > 1) {
+    // One shared lock-free table, all workers incrementing in place.
+    // Reserved for the full id population up front, so every Add() and the
+    // extraction below stay on the lock-free path.
+    ConcurrentCounter<uint32_t> shared(path_count);
+    ParallelFor(0, ids.size(), kScanGrain,
+                [&](size_t chunk_begin, size_t chunk_end) {
+                  for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                    if (ids[i] != kNoStringId) shared.Add(ids[i]);
+                  }
+                });
+    shared.ForEach([&](uint32_t id, uint64_t count) {
+      counts[id] = static_cast<size_t>(count);
+    });
+  } else {
+    for (uint32_t id : ids) {
+      if (id != kNoStringId) ++counts[id];
+    }
   }
   return PopularityFromCounts(counts);
 }
@@ -48,13 +97,45 @@ std::vector<double> FileSizesById(const trace::Trace& trace,
   const std::vector<uint32_t>& ids =
       use_output ? trace.output_path_ids() : trace.input_path_ids();
   const std::vector<trace::JobRecord>& jobs = trace.jobs();
-  std::vector<double> file_sizes(trace.path_interner().size(), -1.0);
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    uint32_t id = ids[i];
-    if (id == kNoStringId) continue;
-    double bytes =
-        use_output ? jobs[i].output_bytes : jobs[i].input_bytes;
-    file_sizes[id] = std::max(file_sizes[id], bytes);
+  const size_t path_count = trace.path_interner().size();
+  std::vector<double> file_sizes(path_count, -1.0);
+  if (jobs.size() >= kParallelScanThreshold && DefaultParallelism() > 1) {
+    // Shared CAS-max table: doubles mapped through an order-preserving
+    // uint64 key so the per-path max is one atomic compare-exchange loop.
+    // Max is commutative, so the result matches the serial scan exactly.
+    auto slots = std::make_unique<std::atomic<uint64_t>[]>(path_count);
+    const uint64_t never = MonotoneKey(-1.0);
+    for (size_t i = 0; i < path_count; ++i) {
+      slots[i].store(never, std::memory_order_relaxed);
+    }
+    ParallelFor(0, jobs.size(), kScanGrain,
+                [&](size_t chunk_begin, size_t chunk_end) {
+                  for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                    uint32_t id = ids[i];
+                    if (id == kNoStringId) continue;
+                    uint64_t key = MonotoneKey(
+                        use_output ? jobs[i].output_bytes
+                                   : jobs[i].input_bytes);
+                    uint64_t seen =
+                        slots[id].load(std::memory_order_relaxed);
+                    while (seen < key &&
+                           !slots[id].compare_exchange_weak(
+                               seen, key, std::memory_order_relaxed)) {
+                    }
+                  }
+                });
+    for (size_t i = 0; i < path_count; ++i) {
+      file_sizes[i] = MonotoneKeyToDouble(
+          slots[i].load(std::memory_order_relaxed));
+    }
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      uint32_t id = ids[i];
+      if (id == kNoStringId) continue;
+      double bytes =
+          use_output ? jobs[i].output_bytes : jobs[i].input_bytes;
+      file_sizes[id] = std::max(file_sizes[id], bytes);
+    }
   }
   return file_sizes;
 }

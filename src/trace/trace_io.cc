@@ -573,6 +573,7 @@ StatusOr<Trace> TraceFromCsv(const std::string& csv_text,
   }
   if (report) report->accepted = total_jobs;
   trace.SetJobs(std::move(jobs));
+  if (options.warm_indexes) trace.WarmIndexes(options.threads);
   return trace;
 }
 

@@ -78,6 +78,12 @@ struct ParseOptions {
   /// 1 = serial. The parsed trace and the ParseReport are byte-identical
   /// at any thread count.
   int threads = 0;
+  /// When true, the path/name id indexes are built immediately after the
+  /// parse (sharing this option's thread budget and, for large traces, the
+  /// concurrent in-place interner) instead of lazily on first analytical
+  /// use. Ids are byte-identical either way; this only moves the work to
+  /// where the parse's parallelism is already spun up.
+  bool warm_indexes = false;
 };
 
 /// Structured outcome of a lenient (kSkip / kRepair) parse. All counts are

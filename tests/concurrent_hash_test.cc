@@ -1,0 +1,382 @@
+#include "common/concurrent_hash.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/random.h"
+#include "trace/trace.h"
+
+namespace swim {
+namespace {
+
+// Every test here runs its concurrent phases against a mutex-protected
+// std::unordered_map oracle updated by the same threads. For the final
+// states to be comparable despite unordered interleavings, the ops are
+// chosen order-independent: values are a pure function of the key, and
+// erases only touch keys their thread owns. The suite runs under the TSan
+// CI job, which is the real referee for the latch protocols.
+
+constexpr int kThreads = 4;
+
+uint64_t ValueFor(uint64_t key) { return key * 0x9e3779b97f4a7c15ull + 1; }
+
+/// Zipf-ish skew without float quantile tables: cubing a uniform variate
+/// concentrates the mass near 0 — enough contention to hammer hot shards.
+uint64_t SkewedKey(Pcg32& rng, uint64_t domain) {
+  double u = static_cast<double>(rng.NextBounded(1u << 20)) /
+             static_cast<double>(1u << 20);
+  return static_cast<uint64_t>(u * u * u * static_cast<double>(domain));
+}
+
+struct LockedOracle {
+  std::mutex mu;
+  std::unordered_map<uint64_t, uint64_t> map;
+
+  void Upsert(uint64_t key, uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu);
+    map[key] = value;
+  }
+  void Erase(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu);
+    map.erase(key);
+  }
+};
+
+void ExpectMatchesOracle(const ConcurrentHashMap<uint64_t, uint64_t>& map,
+                         const LockedOracle& oracle) {
+  ASSERT_EQ(map.size(), oracle.map.size());
+  size_t visited = 0;
+  map.ForEach([&](uint64_t key, uint64_t value) {
+    auto it = oracle.map.find(key);
+    ASSERT_NE(it, oracle.map.end()) << key;
+    EXPECT_EQ(value, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, oracle.map.size());
+}
+
+TEST(ShardLatchTest, WriterExcludesWritersAndReaders) {
+  ShardLatch latch;
+  uint64_t guarded = 0;  // non-atomic on purpose: the latch is the guard
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        if (i % 4 == 0) {
+          ExclusiveLatchGuard guard(latch);
+          ++guarded;
+        } else {
+          SharedLatchGuard guard(latch);
+          // Readers may only ever observe a quiescent value; a torn or
+          // mid-increment read would trip TSan before it trips this.
+          if (guarded > static_cast<uint64_t>(kThreads) * 20000) {
+            failed.store(true);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(guarded, static_cast<uint64_t>(kThreads) * (20000 / 4));
+}
+
+// Single-threaded API contract against a plain oracle, miss-heavy mix
+// included (erase of absent keys, Find of never-inserted keys).
+TEST(ConcurrentHashMapTest, SingleThreadMatchesOracle) {
+  ConcurrentHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  Pcg32 rng(42, /*stream=*/1);
+  for (int step = 0; step < 50000; ++step) {
+    uint64_t key = rng.NextBounded(4096);  // half the probes miss
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        uint64_t value = rng();
+        EXPECT_EQ(map.InsertOrAssign(key, value), oracle.count(key) == 0);
+        oracle[key] = value;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(map.Erase(key), oracle.erase(key));
+        break;
+      case 2: {
+        uint64_t out = 0;
+        bool found = map.Find(key, &out);
+        auto it = oracle.find(key);
+        ASSERT_EQ(found, it != oracle.end());
+        if (found) EXPECT_EQ(out, it->second);
+        break;
+      }
+      default: {
+        auto [value, inserted] = map.GetOrEmplace(
+            key, [&] { return std::make_pair(key, ValueFor(key)); });
+        auto it = oracle.find(key);
+        EXPECT_EQ(inserted, it == oracle.end());
+        if (it != oracle.end()) {
+          EXPECT_EQ(value, it->second);
+        } else {
+          EXPECT_EQ(value, ValueFor(key));
+          oracle[key] = ValueFor(key);
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+}
+
+// Contended Zipf upserts: all threads hammer the same skewed key stream
+// with GetOrEmplace; make() must run exactly once per distinct key.
+TEST(ConcurrentHashMapTest, ContendedZipfGetOrEmplace) {
+  ConcurrentHashMap<uint64_t, uint64_t> map;
+  LockedOracle oracle;
+  std::atomic<size_t> insertions{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Pcg32 rng(2012, /*stream=*/static_cast<uint64_t>(t));
+      for (int i = 0; i < 30000; ++i) {
+        uint64_t key = SkewedKey(rng, 5000);
+        auto [value, inserted] = map.GetOrEmplace(
+            key, [&] { return std::make_pair(key, ValueFor(key)); });
+        EXPECT_EQ(value, ValueFor(key));
+        if (inserted) insertions.fetch_add(1, std::memory_order_relaxed);
+        oracle.Upsert(key, ValueFor(key));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(insertions.load(), oracle.map.size());
+  ExpectMatchesOracle(map, oracle);
+}
+
+// Read-mostly mix over a pre-populated table: 15/16 lookups, rare inserts
+// of thread-owned keys. Hits must always return the key-derived value —
+// a torn value or a transiently absent pre-populated key fails loudly.
+TEST(ConcurrentHashMapTest, ReadMostlyMix) {
+  ConcurrentHashMap<uint64_t, uint64_t> map;
+  LockedOracle oracle;
+  constexpr uint64_t kPrepopulated = 20000;
+  map.Reserve(kPrepopulated + kThreads * 2000);
+  for (uint64_t key = 0; key < kPrepopulated; ++key) {
+    map.InsertOrAssign(key, ValueFor(key));
+    oracle.map[key] = ValueFor(key);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Pcg32 rng(7, /*stream=*/static_cast<uint64_t>(t));
+      uint64_t next_own = kPrepopulated + static_cast<uint64_t>(t) * 1u << 20;
+      for (int i = 0; i < 32000; ++i) {
+        if (rng.NextBounded(16) == 0) {
+          uint64_t key = next_own++;
+          EXPECT_TRUE(map.InsertOrAssign(key, ValueFor(key)));
+          oracle.Upsert(key, ValueFor(key));
+        } else {
+          uint64_t key = SkewedKey(rng, kPrepopulated);
+          uint64_t out = 0;
+          ASSERT_TRUE(map.Find(key, &out)) << key;
+          EXPECT_EQ(out, ValueFor(key));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ExpectMatchesOracle(map, oracle);
+}
+
+// Insert-heavy with erase churn: each thread owns a key range, inserts it
+// all, then erases a deterministic subset — exercising shard rehashes and
+// tombstone reuse under concurrency from the other shards' writers.
+TEST(ConcurrentHashMapTest, InsertHeavyWithOwnedErase) {
+  ConcurrentHashMap<uint64_t, uint64_t> map;
+  LockedOracle oracle;
+  constexpr uint64_t kPerThread = 40000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t base = static_cast<uint64_t>(t) * kPerThread;
+      for (uint64_t k = 0; k < kPerThread; ++k) {
+        uint64_t key = base + k;
+        map.InsertOrAssign(key, ValueFor(key));
+        oracle.Upsert(key, ValueFor(key));
+        if (k % 3 == 0) {  // churn: erase every third key right away
+          EXPECT_EQ(map.Erase(key), 1u);
+          oracle.Erase(key);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ExpectMatchesOracle(map, oracle);
+}
+
+// Miss-heavy lookups racing writers: readers probe keys that are NEVER
+// inserted (must always miss) plus keys being inserted concurrently (must
+// miss or return the exact final value — nothing in between).
+TEST(ConcurrentHashMapTest, MissHeavyLookupsDuringInserts) {
+  ConcurrentHashMap<uint64_t, uint64_t> map;
+  constexpr uint64_t kWriteDomain = 30000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads - 1; ++t) {
+    readers.emplace_back([&, t] {
+      Pcg32 rng(99, /*stream=*/static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t key = rng.NextBounded(2 * kWriteDomain);
+        uint64_t out = 0;
+        bool found = map.Find(key, &out);
+        if (key >= kWriteDomain) {
+          EXPECT_FALSE(found) << key;  // never written by anyone
+        } else if (found) {
+          EXPECT_EQ(out, ValueFor(key));
+        }
+      }
+    });
+  }
+  for (uint64_t key = 0; key < kWriteDomain; ++key) {
+    map.InsertOrAssign(key, ValueFor(key));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(map.size(), kWriteDomain);
+}
+
+// ConcurrentCounter vs serial accumulation: the same deterministic
+// per-thread streams summed serially must equal the concurrent totals.
+TEST(ConcurrentCounterTest, MatchesSerialSums) {
+  constexpr uint64_t kDomain = 4000;
+  ConcurrentCounter<uint32_t> counter(kDomain);
+  std::vector<uint64_t> expected(kDomain, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    Pcg32 rng(5, /*stream=*/static_cast<uint64_t>(t));
+    for (int i = 0; i < 60000; ++i) {
+      ++expected[SkewedKey(rng, kDomain)];
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Pcg32 rng(5, /*stream=*/static_cast<uint64_t>(t));
+      for (int i = 0; i < 60000; ++i) {
+        counter.Add(static_cast<uint32_t>(SkewedKey(rng, kDomain)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(counter.Overflowed());  // reserved for the full population
+  uint64_t total = 0;
+  size_t distinct = 0;
+  for (uint32_t key = 0; key < kDomain; ++key) {
+    EXPECT_EQ(counter.Count(key), expected[key]) << key;
+    total += expected[key];
+    distinct += expected[key] > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(counter.Distinct(), distinct);
+  uint64_t foreach_total = 0;
+  counter.ForEach([&](uint32_t, uint64_t count) { foreach_total += count; });
+  EXPECT_EQ(foreach_total, total);
+}
+
+// Under-reservation must degrade to the overflow map, not lose counts.
+TEST(ConcurrentCounterTest, OverflowStaysExact) {
+  ConcurrentCounter<uint32_t> counter(8);  // tiny table, big population
+  constexpr uint32_t kDomain = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint32_t key = 0; key < kDomain; ++key) counter.Add(key);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(counter.Overflowed());
+  EXPECT_EQ(counter.Distinct(), kDomain);
+  for (uint32_t key = 0; key < kDomain; ++key) {
+    ASSERT_EQ(counter.Count(key), static_cast<uint64_t>(kThreads)) << key;
+  }
+}
+
+// ShardedInterner: concurrent interning of overlapping string streams
+// yields one dense provisional id space covering exactly the distinct set,
+// with ids stable on re-intern and views valid afterwards.
+TEST(ShardedInternerTest, ConcurrentInternYieldsDenseStableIds) {
+  ShardedInterner interner(2000);
+  constexpr uint64_t kDomain = 1500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Pcg32 rng(31, /*stream=*/static_cast<uint64_t>(t));
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t n = SkewedKey(rng, kDomain);
+        std::string text = "hdfs://data/part-" + std::to_string(n);
+        uint32_t id = interner.Intern(text);
+        // Same string must map to the same id on the spot.
+        ASSERT_EQ(interner.Intern(text), id);
+        ASSERT_LT(id, kDomain);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<std::string_view> views = interner.ViewsByProvisionalId();
+  ASSERT_EQ(views.size(), interner.size());
+  FlatHashSet<std::string_view> distinct;
+  for (uint32_t id = 0; id < views.size(); ++id) {
+    EXPECT_EQ(interner.Intern(views[id]), id);  // round-trip
+    distinct.insert(views[id]);
+  }
+  EXPECT_EQ(distinct.size(), views.size());  // ids are a bijection
+}
+
+// End-to-end determinism of the tentpole wiring: a trace big enough for
+// the parallel in-place index build must produce byte-identical id columns
+// and interner contents at 1 lane (serial path) and 8 lanes (concurrent
+// ShardedInterner + canonical post-pass).
+TEST(TraceParallelIndexTest, ParallelIndexIdenticalToSerial) {
+  trace::Trace serial;
+  Pcg32 rng(2012, /*stream=*/9);
+  for (uint64_t i = 0; i < 20000; ++i) {  // above kParallelIndexThreshold
+    trace::JobRecord job;
+    job.job_id = i + 1;
+    job.submit_time = static_cast<double>(rng.NextBounded(1000000));
+    job.input_bytes = 1e6;
+    job.name = "Pipeline" + std::to_string(SkewedKey(rng, 200));
+    if (rng.NextBernoulli(0.85)) {
+      job.input_path = "data/in" + std::to_string(SkewedKey(rng, 3000));
+    }
+    if (rng.NextBernoulli(0.6)) {
+      job.output_path =
+          rng.NextBernoulli(0.3)
+              ? "data/in" + std::to_string(SkewedKey(rng, 3000))
+              : "data/out" + std::to_string(SkewedKey(rng, 3000));
+    }
+    serial.AddJob(std::move(job));
+  }
+  trace::Trace parallel = serial;  // copy drops lazy index state
+  serial.WarmIndexes(/*max_parallelism=*/1);
+  parallel.WarmIndexes(/*max_parallelism=*/8);
+
+  EXPECT_EQ(serial.input_path_ids(), parallel.input_path_ids());
+  EXPECT_EQ(serial.output_path_ids(), parallel.output_path_ids());
+  EXPECT_EQ(serial.name_ids(), parallel.name_ids());
+  ASSERT_EQ(serial.path_interner().size(), parallel.path_interner().size());
+  for (uint32_t id = 0; id < serial.path_interner().size(); ++id) {
+    ASSERT_EQ(serial.path_interner().NameOf(id),
+              parallel.path_interner().NameOf(id));
+  }
+  ASSERT_EQ(serial.name_interner().size(), parallel.name_interner().size());
+  for (uint32_t id = 0; id < serial.name_interner().size(); ++id) {
+    ASSERT_EQ(serial.name_interner().NameOf(id),
+              parallel.name_interner().NameOf(id));
+  }
+}
+
+}  // namespace
+}  // namespace swim

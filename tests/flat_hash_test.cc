@@ -204,6 +204,77 @@ TEST(FlatHashMapTest, EraseByIteratorDuringScan) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(map.contains(i), i % 2 == 1);
 }
 
+// Regression for the tombstone-accounting latent bug: growth must trigger
+// on (size + deleted), so an erase-heavy workload whose live size stays
+// flat rehashes in place (purging tombstones) instead of letting deleted
+// slots silently consume the table. Before the fix, this loop drove
+// growth_left_ negative (wrapping, since it is unsigned) and probe chains
+// degraded without bound.
+TEST(FlatHashMapTest, TombstoneChurnStaysBounded) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  map.reserve(256);
+  const size_t capacity_after_reserve = map.capacity();
+  Pcg32 rng(2012, /*stream=*/11);
+  // 64 live keys, then ~200k insert/erase cycles of transient keys: far
+  // more erases than any capacity's worth of slots.
+  for (uint64_t k = 0; k < 64; ++k) map[k] = k;
+  for (uint64_t cycle = 0; cycle < 200000; ++cycle) {
+    uint64_t key = 1000 + rng.NextBounded(128);
+    map[key] = cycle;
+    EXPECT_EQ(map.erase(key), 1u);
+    // The load-factor invariant must hold at every step: live entries plus
+    // tombstones never exceed the 7/8 growth capacity.
+    ASSERT_LE(map.size() + map.tombstones(), map.capacity() - map.capacity() / 8);
+  }
+  EXPECT_EQ(map.size(), 64u);
+  // Churn with a flat live size must not have ballooned the table: the
+  // in-place rehash purges tombstones instead of doubling.
+  EXPECT_LE(map.capacity(), capacity_after_reserve * 2);
+  for (uint64_t k = 0; k < 64; ++k) EXPECT_EQ(map.at(k), k);
+}
+
+// The SIMD group policies must be drop-in equivalent to the portable one:
+// identical op results over a long random workload, whatever ISA this host
+// compiled to (on SSE2/NEON hosts this pits GroupPortable against the
+// vector path; on others it degenerates to self-comparison, still useful
+// as an oracle run).
+TEST(FlatHashMapTest, PortableGroupMatchesDefaultGroup) {
+  FlatHashMap<uint64_t, uint64_t> simd;  // default Group for this build
+  FlatHashMap<uint64_t, uint64_t, FlatHash, FlatEq,
+              flat_internal::GroupPortable>
+      portable;
+  Pcg32 rng(777, /*stream=*/13);
+  for (int step = 0; step < 100000; ++step) {
+    uint64_t key = rng.NextBounded(2048);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        uint64_t value = rng();
+        simd[key] = value;
+        portable[key] = value;
+        break;
+      }
+      case 2:
+        ASSERT_EQ(simd.erase(key), portable.erase(key));
+        break;
+      default: {
+        auto simd_it = simd.find(key);
+        auto portable_it = portable.find(key);
+        ASSERT_EQ(simd_it == simd.end(), portable_it == portable.end());
+        if (simd_it != simd.end()) {
+          ASSERT_EQ(simd_it->second, portable_it->second);
+        }
+      }
+    }
+    ASSERT_EQ(simd.size(), portable.size());
+  }
+  for (const auto& [key, value] : portable) {
+    auto it = simd.find(key);
+    ASSERT_NE(it, simd.end());
+    EXPECT_EQ(it->second, value);
+  }
+}
+
 TEST(StringInternerTest, DenseFirstAppearanceIds) {
   StringInterner interner;
   EXPECT_EQ(interner.Intern("alpha"), 0u);

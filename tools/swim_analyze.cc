@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
     trace = *std::move(generated);
   } else {
     trace::ParseOptions parse_options;
+    // Build the id indexes right after the parse: large traces use the
+    // concurrent in-place interner while the parse's thread budget is hot.
+    parse_options.warm_indexes = true;
     for (int i = 2; i < argc; ++i) {
       std::string flag = argv[i];
       std::string value;
