@@ -4,16 +4,21 @@
 //
 // Runs the deterministic CsvMutator against TraceFromCsv in all three
 // parse modes for N iterations and enforces the parser contracts (never
-// crash, report counts exact, accepted rows valid, repair >= skip). Any
-// violation prints the reproducing (seed, iteration) pair and exits
-// non-zero. The CI fuzz-smoke step runs this under ASan/UBSan; the gtest
-// twin (trace_fuzz_test) runs a short version in every test pass.
+// crash, report counts exact, accepted rows valid, repair >= skip), then
+// runs the Stf1Mutator against TraceFromColumnarBytes for the same N and
+// enforces the binary-reader contract (never crash, errors are structured,
+// accepted traces validate). Any violation prints the reproducing (seed,
+// iteration) pair and exits non-zero. The CI fuzz-smoke step runs this
+// under ASan/UBSan; the gtest twin (trace_fuzz_test / columnar_test) runs
+// a short version in every test pass.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "trace/columnar.h"
 #include "trace/csv_mutator.h"
 #include "trace/job_record.h"
+#include "trace/stf1_mutator.h"
 #include "trace/trace.h"
 #include "trace/trace_io.h"
 
@@ -23,7 +28,7 @@ using namespace swim;
 
 /// Same corpus shape as trace_fuzz_test, scaled up: quoted commas,
 /// embedded newlines, escaped quotes, empty optionals, map-only jobs.
-std::string BaseCorpus() {
+trace::Trace BaseTrace() {
   trace::Trace t;
   t.mutable_metadata().name = "FUZZ-CI";
   t.mutable_metadata().machines = 600;
@@ -51,7 +56,7 @@ std::string BaseCorpus() {
     job.output_path = id % 5 == 0 ? "" : "out/" + std::to_string(id);
     t.AddJob(std::move(job));
   }
-  return trace::TraceToCsv(t);
+  return t;
 }
 
 [[noreturn]] void Fail(uint64_t seed, uint64_t iteration, const char* what) {
@@ -95,7 +100,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string base = BaseCorpus();
+  const trace::Trace base_trace = BaseTrace();
+  const std::string base = trace::TraceToCsv(base_trace);
   const trace::CsvMutator mutator(seed);
   uint64_t strict_ok = 0, skip_rows = 0, repair_rows = 0;
   for (uint64_t iteration = 0; iteration < iterations; ++iteration) {
@@ -146,5 +152,39 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(strict_ok),
       static_cast<double>(skip_rows) / static_cast<double>(iterations),
       static_cast<double>(repair_rows) / static_cast<double>(iterations));
+
+  // Phase 2: the binary reader. The pristine encoding must round-trip;
+  // every mutated encoding must either load a fully valid trace or fail
+  // with a structured Status — never crash, never OOM on a lying header.
+  const std::string stf1 = trace::TraceToColumnarBytes(base_trace);
+  {
+    auto pristine = trace::TraceFromColumnarBytes(stf1);
+    if (!pristine.ok() || pristine->size() != base_trace.size()) {
+      Fail(seed, 0, "pristine STF1 encoding failed to round-trip");
+    }
+  }
+  const trace::Stf1Mutator stf1_mutator(seed);
+  uint64_t stf1_ok = 0;
+  for (uint64_t iteration = 0; iteration < iterations; ++iteration) {
+    const std::string mutated = stf1_mutator.Mutate(stf1, iteration);
+    auto loaded = trace::TraceFromColumnarBytes(mutated);
+    if (loaded.ok()) {
+      ++stf1_ok;
+      for (const trace::JobRecord& job : loaded->jobs()) {
+        if (!trace::ValidateJobRecord(job).empty()) {
+          Fail(seed, iteration, "STF1 reader accepted an invalid job");
+        }
+      }
+    } else if (loaded.status().message().empty()) {
+      Fail(seed, iteration, "STF1 reader returned an unexplained error");
+    }
+  }
+  std::printf(
+      "fuzzed %llu mutated STF1 files (seed %llu): %llu loaded cleanly, "
+      "%llu rejected with structured errors\n",
+      static_cast<unsigned long long>(iterations),
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(stf1_ok),
+      static_cast<unsigned long long>(iterations - stf1_ok));
   return 0;
 }

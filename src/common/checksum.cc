@@ -1,0 +1,95 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace swim {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t Rotl64(uint64_t value, int bits) {
+  return (value << bits) | (value >> (64 - bits));
+}
+
+inline uint64_t Load64(const unsigned char* p) {
+  uint64_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+inline uint32_t Load32(const unsigned char* p) {
+  uint32_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl64(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t lane) {
+  acc ^= Round(0, lane);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+uint64_t Checksum64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + size;
+  uint64_t hash;
+
+  if (size >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    hash = Rotl64(v1, 1) + Rotl64(v2, 7) + Rotl64(v3, 12) + Rotl64(v4, 18);
+    hash = MergeRound(hash, v1);
+    hash = MergeRound(hash, v2);
+    hash = MergeRound(hash, v3);
+    hash = MergeRound(hash, v4);
+  } else {
+    hash = seed + kPrime5;
+  }
+
+  hash += static_cast<uint64_t>(size);
+  while (p + 8 <= end) {
+    hash ^= Round(0, Load64(p));
+    hash = Rotl64(hash, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    hash ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    hash = Rotl64(hash, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    hash ^= static_cast<uint64_t>(*p) * kPrime5;
+    hash = Rotl64(hash, 11) * kPrime1;
+    ++p;
+  }
+
+  hash ^= hash >> 33;
+  hash *= kPrime2;
+  hash ^= hash >> 29;
+  hash *= kPrime3;
+  hash ^= hash >> 32;
+  return hash;
+}
+
+}  // namespace swim

@@ -1,0 +1,815 @@
+#include "trace/columnar.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SWIM_COLUMNAR_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace swim::trace {
+
+// The format is defined little-endian and the encoder/decoder memcpy scalar
+// columns directly; a big-endian port would need byte-swapping shims here.
+static_assert(std::endian::native == std::endian::little,
+              "STF1 encode/decode assumes a little-endian host");
+
+namespace {
+
+constexpr uint32_t kFlagHasNames = 1u << 0;
+constexpr uint32_t kFlagHasInputPaths = 1u << 1;
+constexpr uint32_t kFlagHasOutputPaths = 1u << 2;
+
+/// Rows per materialization chunk; fixed so any per-chunk artifacts (none
+/// today) stay thread-count-independent, matching the CSV parser's contract.
+constexpr size_t kMaterializeGrain = 8192;
+
+constexpr size_t Align(size_t offset) {
+  return (offset + kStf1Alignment - 1) & ~(kStf1Alignment - 1);
+}
+
+/// Element width of each section's payload, indexed by Stf1SectionKind.
+constexpr uint32_t kElementSize[kStf1SectionCount] = {
+    8, 8, 8, 8, 8, 8, 8, 8, 8, 8,  // numeric job columns
+    4, 4, 4,                       // dictionary-id columns
+    8, 1, 8, 1,                    // name dict offsets/blob, path dict offsets/blob
+    1,                             // trace name
+};
+
+/// Sections whose payload is exactly job_count * element_size bytes.
+constexpr bool IsJobColumn(size_t kind) { return kind <= 12; }
+
+Status CorruptError(const std::string& what) {
+  return InvalidArgumentError("corrupt STF1 file: " + what);
+}
+
+/// Validates one persisted dictionary (offsets array + blob) and returns
+/// the entry count. Offsets must start at 0, be nondecreasing, and end at
+/// the blob size, so every id maps to a well-defined byte range.
+StatusOr<size_t> ValidateDictionary(const unsigned char* offsets_data,
+                                    size_t offsets_bytes,
+                                    size_t blob_bytes, const char* which) {
+  if (offsets_bytes < sizeof(uint64_t) ||
+      offsets_bytes % sizeof(uint64_t) != 0) {
+    return CorruptError(std::string(which) + " dictionary offsets malformed");
+  }
+  const size_t count = offsets_bytes / sizeof(uint64_t) - 1;
+  if (count >= kNoStringId) {
+    return CorruptError(std::string(which) + " dictionary too large");
+  }
+  const uint64_t* offsets = reinterpret_cast<const uint64_t*>(offsets_data);
+  if (offsets[0] != 0 || offsets[count] != blob_bytes) {
+    return CorruptError(std::string(which) +
+                        " dictionary offsets do not bracket the blob");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return CorruptError(std::string(which) +
+                          " dictionary offsets not monotone");
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* Stf1SectionKindName(Stf1SectionKind kind) {
+  switch (kind) {
+    case Stf1SectionKind::kJobId: return "job_id";
+    case Stf1SectionKind::kSubmitTime: return "submit_time";
+    case Stf1SectionKind::kDuration: return "duration";
+    case Stf1SectionKind::kInputBytes: return "input_bytes";
+    case Stf1SectionKind::kShuffleBytes: return "shuffle_bytes";
+    case Stf1SectionKind::kOutputBytes: return "output_bytes";
+    case Stf1SectionKind::kMapTasks: return "map_tasks";
+    case Stf1SectionKind::kReduceTasks: return "reduce_tasks";
+    case Stf1SectionKind::kMapTaskSeconds: return "map_task_seconds";
+    case Stf1SectionKind::kReduceTaskSeconds: return "reduce_task_seconds";
+    case Stf1SectionKind::kNameIds: return "name_ids";
+    case Stf1SectionKind::kInputPathIds: return "input_path_ids";
+    case Stf1SectionKind::kOutputPathIds: return "output_path_ids";
+    case Stf1SectionKind::kNameDictOffsets: return "name_dict_offsets";
+    case Stf1SectionKind::kNameDictBlob: return "name_dict_blob";
+    case Stf1SectionKind::kPathDictOffsets: return "path_dict_offsets";
+    case Stf1SectionKind::kPathDictBlob: return "path_dict_blob";
+    case Stf1SectionKind::kTraceName: return "trace_name";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+std::string TraceToColumnarBytes(const Trace& trace) {
+  // Touch the id accessors first: they sort the job stream and build the
+  // canonical first-appearance indexes, so everything below reads one
+  // consistent snapshot.
+  const std::vector<uint32_t>& input_ids = trace.input_path_ids();
+  const std::vector<uint32_t>& output_ids = trace.output_path_ids();
+  const std::vector<uint32_t>& name_ids = trace.name_ids();
+  const StringInterner& paths = trace.path_interner();
+  const StringInterner& names = trace.name_interner();
+  const std::vector<JobRecord>& jobs = trace.jobs();
+  const TraceMetadata& meta = trace.metadata();
+  const size_t n = jobs.size();
+
+  // Dictionary offsets: entry i's bytes live at blob[offsets[i],
+  // offsets[i+1]) — (count + 1) entries bracket the whole blob.
+  auto dict_offsets = [](const StringInterner& interner) {
+    std::vector<uint64_t> offsets(interner.size() + 1);
+    uint64_t pos = 0;
+    for (size_t i = 0; i < interner.size(); ++i) {
+      offsets[i] = pos;
+      pos += interner.NameOf(static_cast<uint32_t>(i)).size();
+    }
+    offsets[interner.size()] = pos;
+    return offsets;
+  };
+  const std::vector<uint64_t> name_offsets = dict_offsets(names);
+  const std::vector<uint64_t> path_offsets = dict_offsets(paths);
+
+  size_t payload_bytes[kStf1SectionCount];
+  for (size_t kind = 0; kind < kStf1SectionCount; ++kind) {
+    if (IsJobColumn(kind)) payload_bytes[kind] = n * kElementSize[kind];
+  }
+  payload_bytes[static_cast<size_t>(Stf1SectionKind::kNameDictOffsets)] =
+      name_offsets.size() * sizeof(uint64_t);
+  payload_bytes[static_cast<size_t>(Stf1SectionKind::kNameDictBlob)] =
+      name_offsets.back();
+  payload_bytes[static_cast<size_t>(Stf1SectionKind::kPathDictOffsets)] =
+      path_offsets.size() * sizeof(uint64_t);
+  payload_bytes[static_cast<size_t>(Stf1SectionKind::kPathDictBlob)] =
+      path_offsets.back();
+  payload_bytes[static_cast<size_t>(Stf1SectionKind::kTraceName)] =
+      meta.name.size();
+
+  const size_t table_offset = sizeof(Stf1Header);
+  const size_t table_bytes = kStf1SectionCount * sizeof(Stf1Section);
+  size_t payload_offsets[kStf1SectionCount];
+  size_t pos = Align(table_offset + table_bytes);
+  for (size_t kind = 0; kind < kStf1SectionCount; ++kind) {
+    payload_offsets[kind] = pos;
+    pos = Align(pos + payload_bytes[kind]);
+  }
+  std::string out(pos, '\0');
+  char* const base = out.data();
+
+  // Numeric columns: one pass over the job stream, field stores compiled
+  // from memcpy (the buffer is only 16-aligned, so no typed pointers).
+  {
+    char* job_id = base + payload_offsets[0];
+    char* submit = base + payload_offsets[1];
+    char* duration = base + payload_offsets[2];
+    char* in_bytes = base + payload_offsets[3];
+    char* shuffle = base + payload_offsets[4];
+    char* out_bytes = base + payload_offsets[5];
+    char* map_tasks = base + payload_offsets[6];
+    char* reduce_tasks = base + payload_offsets[7];
+    char* map_secs = base + payload_offsets[8];
+    char* reduce_secs = base + payload_offsets[9];
+    for (size_t i = 0; i < n; ++i) {
+      const JobRecord& job = jobs[i];
+      std::memcpy(job_id + i * 8, &job.job_id, 8);
+      std::memcpy(submit + i * 8, &job.submit_time, 8);
+      std::memcpy(duration + i * 8, &job.duration, 8);
+      std::memcpy(in_bytes + i * 8, &job.input_bytes, 8);
+      std::memcpy(shuffle + i * 8, &job.shuffle_bytes, 8);
+      std::memcpy(out_bytes + i * 8, &job.output_bytes, 8);
+      std::memcpy(map_tasks + i * 8, &job.map_tasks, 8);
+      std::memcpy(reduce_tasks + i * 8, &job.reduce_tasks, 8);
+      std::memcpy(map_secs + i * 8, &job.map_task_seconds, 8);
+      std::memcpy(reduce_secs + i * 8, &job.reduce_task_seconds, 8);
+    }
+  }
+  auto copy_section = [&](Stf1SectionKind kind, const void* data,
+                          size_t bytes) {
+    if (bytes > 0) {
+      std::memcpy(base + payload_offsets[static_cast<size_t>(kind)], data,
+                  bytes);
+    }
+  };
+  copy_section(Stf1SectionKind::kNameIds, name_ids.data(), n * 4);
+  copy_section(Stf1SectionKind::kInputPathIds, input_ids.data(), n * 4);
+  copy_section(Stf1SectionKind::kOutputPathIds, output_ids.data(), n * 4);
+  copy_section(Stf1SectionKind::kNameDictOffsets, name_offsets.data(),
+               name_offsets.size() * sizeof(uint64_t));
+  copy_section(Stf1SectionKind::kPathDictOffsets, path_offsets.data(),
+               path_offsets.size() * sizeof(uint64_t));
+  auto copy_blob = [&](Stf1SectionKind kind, const StringInterner& interner) {
+    char* blob = base + payload_offsets[static_cast<size_t>(kind)];
+    size_t written = 0;
+    for (size_t i = 0; i < interner.size(); ++i) {
+      std::string_view text = interner.NameOf(static_cast<uint32_t>(i));
+      std::memcpy(blob + written, text.data(), text.size());
+      written += text.size();
+    }
+  };
+  copy_blob(Stf1SectionKind::kNameDictBlob, names);
+  copy_blob(Stf1SectionKind::kPathDictBlob, paths);
+  copy_section(Stf1SectionKind::kTraceName, meta.name.data(),
+               meta.name.size());
+
+  for (size_t kind = 0; kind < kStf1SectionCount; ++kind) {
+    Stf1Section entry;
+    entry.kind = static_cast<uint32_t>(kind);
+    entry.element_size = kElementSize[kind];
+    entry.offset = payload_offsets[kind];
+    entry.bytes = payload_bytes[kind];
+    entry.checksum =
+        Checksum64(base + payload_offsets[kind], payload_bytes[kind]);
+    std::memcpy(base + table_offset + kind * sizeof(Stf1Section), &entry,
+                sizeof(entry));
+  }
+
+  Stf1Header header;
+  header.job_count = n;
+  header.flags = (meta.has_names ? kFlagHasNames : 0) |
+                 (meta.has_input_paths ? kFlagHasInputPaths : 0) |
+                 (meta.has_output_paths ? kFlagHasOutputPaths : 0);
+  header.machines = meta.machines;
+  header.year = meta.year;
+  header.table_offset = table_offset;
+  header.table_bytes = table_bytes;
+  header.table_checksum = Checksum64(base + table_offset, table_bytes);
+  std::memcpy(base, &header, offsetof(Stf1Header, header_checksum));
+  header.header_checksum =
+      Checksum64(base, offsetof(Stf1Header, header_checksum));
+  std::memcpy(base, &header, sizeof(header));
+  return out;
+}
+
+Status WriteTraceColumnar(const Trace& trace, const std::string& path) {
+  const std::string bytes = TraceToColumnarBytes(trace);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (!out) return IoError("cannot open for writing: " + path);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size()) {
+    std::fclose(out);
+    return IoError("write failed: " + path);
+  }
+  if (std::fflush(out) != 0) {
+    std::fclose(out);
+    return IoError("flush failed: " + path);
+  }
+#if defined(SWIM_COLUMNAR_HAS_MMAP)
+  // One fsync for the whole file: the encoding was a single buffered
+  // stream, so a crash leaves either the old file or a complete new one.
+  if (fsync(fileno(out)) != 0) {
+    std::fclose(out);
+    return IoError("fsync failed: " + path);
+  }
+#endif
+  if (std::fclose(out) != 0) return IoError("close failed: " + path);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// View
+// ---------------------------------------------------------------------------
+
+void ColumnarTraceView::AlignedFree::operator()(unsigned char* p) const {
+  ::operator delete[](p, std::align_val_t{kStf1Alignment});
+}
+
+ColumnarTraceView::~ColumnarTraceView() {
+#if defined(SWIM_COLUMNAR_HAS_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+}
+
+ColumnarTraceView::ColumnarTraceView(ColumnarTraceView&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      owned_(std::move(other.owned_)),
+      metadata_(std::move(other.metadata_)),
+      job_count_(other.job_count_),
+      name_count_(other.name_count_),
+      path_count_(other.path_count_),
+      sections_(other.sections_),
+      section_bytes_(other.section_bytes_),
+      section_checksums_(other.section_checksums_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+ColumnarTraceView& ColumnarTraceView::operator=(
+    ColumnarTraceView&& other) noexcept {
+  if (this == &other) return *this;
+#if defined(SWIM_COLUMNAR_HAS_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  owned_ = std::move(other.owned_);
+  metadata_ = std::move(other.metadata_);
+  job_count_ = other.job_count_;
+  name_count_ = other.name_count_;
+  path_count_ = other.path_count_;
+  sections_ = other.sections_;
+  section_bytes_ = other.section_bytes_;
+  section_checksums_ = other.section_checksums_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+StatusOr<ColumnarTraceView> ColumnarTraceView::Open(
+    const std::string& path, const ColumnarOptions& options) {
+  ColumnarTraceView view;
+#if defined(SWIM_COLUMNAR_HAS_MMAP)
+  if (options.allow_mmap) {
+    int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) return IoError("cannot open for reading: " + path);
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      close(fd);
+      return IoError("cannot stat: " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size > 0) {
+      void* mapping = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      close(fd);
+      if (mapping != MAP_FAILED) {
+        view.data_ = static_cast<const unsigned char*>(mapping);
+        view.size_ = size;
+        view.mapped_ = true;
+        Status status = view.Init();
+        if (!status.ok()) return status;
+        return view;
+      }
+      // mmap refused (unusual filesystem, resource limit): fall through to
+      // the buffered read below, which yields an identical view.
+    } else {
+      close(fd);
+      return CorruptError("empty file");
+    }
+  }
+#endif
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) return IoError("cannot open for reading: " + path);
+  if (std::fseek(in, 0, SEEK_END) != 0) {
+    std::fclose(in);
+    return IoError("cannot seek: " + path);
+  }
+  const long end = std::ftell(in);
+  if (end < 0) {
+    std::fclose(in);
+    return IoError("cannot tell: " + path);
+  }
+  std::rewind(in);
+  const size_t size = static_cast<size_t>(end);
+  if (size == 0) {
+    std::fclose(in);
+    return CorruptError("empty file");
+  }
+  std::unique_ptr<unsigned char[], AlignedFree> buffer(
+      static_cast<unsigned char*>(
+          ::operator new[](size, std::align_val_t{kStf1Alignment})));
+  if (std::fread(buffer.get(), 1, size, in) != size) {
+    std::fclose(in);
+    return IoError("read failed: " + path);
+  }
+  std::fclose(in);
+  view.data_ = buffer.get();
+  view.size_ = size;
+  view.mapped_ = false;
+  view.owned_ = std::move(buffer);
+  Status status = view.Init();
+  if (!status.ok()) return status;
+  return view;
+}
+
+StatusOr<ColumnarTraceView> ColumnarTraceView::FromBytes(
+    std::string_view bytes) {
+  if (bytes.empty()) return CorruptError("empty file");
+  // Copy into an aligned buffer: callers hand arbitrary strings and the
+  // column views require kStf1Alignment.
+  std::unique_ptr<unsigned char[], AlignedFree> buffer(
+      static_cast<unsigned char*>(
+          ::operator new[](bytes.size(), std::align_val_t{kStf1Alignment})));
+  std::memcpy(buffer.get(), bytes.data(), bytes.size());
+  ColumnarTraceView view;
+  view.data_ = buffer.get();
+  view.size_ = bytes.size();
+  view.mapped_ = false;
+  view.owned_ = std::move(buffer);
+  Status status = view.Init();
+  if (!status.ok()) return status;
+  return view;
+}
+
+Status ColumnarTraceView::Init() {
+  if (size_ < sizeof(Stf1Header)) {
+    return CorruptError("truncated: " + std::to_string(size_) +
+                        " bytes, need a 64-byte header");
+  }
+  Stf1Header header;
+  std::memcpy(&header, data_, sizeof(header));
+  if (header.magic != kStf1Magic) {
+    return CorruptError("bad magic (not an STF1 trace)");
+  }
+  if (Checksum64(data_, offsetof(Stf1Header, header_checksum)) !=
+      header.header_checksum) {
+    return CorruptError("header checksum mismatch");
+  }
+  if (header.version != kStf1Version) {
+    return CorruptError("unsupported version " +
+                        std::to_string(header.version) +
+                        " (reader supports " + std::to_string(kStf1Version) +
+                        ")");
+  }
+  if (header.section_count != kStf1SectionCount) {
+    return CorruptError("unexpected section count " +
+                        std::to_string(header.section_count));
+  }
+  if (header.table_offset % kStf1Alignment != 0 ||
+      header.table_offset > size_ ||
+      header.table_bytes != kStf1SectionCount * sizeof(Stf1Section) ||
+      header.table_bytes > size_ - header.table_offset) {
+    return CorruptError("section table out of bounds");
+  }
+  const unsigned char* table = data_ + header.table_offset;
+  if (Checksum64(table, header.table_bytes) != header.table_checksum) {
+    return CorruptError("section table checksum mismatch");
+  }
+
+  bool seen[kStf1SectionCount] = {};
+  for (size_t i = 0; i < kStf1SectionCount; ++i) {
+    Stf1Section entry;
+    std::memcpy(&entry, table + i * sizeof(entry), sizeof(entry));
+    if (entry.kind >= kStf1SectionCount) {
+      return CorruptError("unknown section kind " +
+                          std::to_string(entry.kind));
+    }
+    const char* name =
+        Stf1SectionKindName(static_cast<Stf1SectionKind>(entry.kind));
+    if (seen[entry.kind]) {
+      return CorruptError(std::string("duplicate section ") + name);
+    }
+    seen[entry.kind] = true;
+    if (entry.element_size != kElementSize[entry.kind]) {
+      return CorruptError(std::string("wrong element size for section ") +
+                          name);
+    }
+    if (entry.offset % kStf1Alignment != 0 || entry.offset > size_ ||
+        entry.bytes > size_ - entry.offset) {
+      return CorruptError(std::string("section ") + name + " out of bounds");
+    }
+    if (IsJobColumn(entry.kind) &&
+        (entry.bytes % entry.element_size != 0 ||
+         entry.bytes / entry.element_size != header.job_count)) {
+      return CorruptError(std::string("section ") + name +
+                          " does not match the job count");
+    }
+    sections_[entry.kind] = data_ + entry.offset;
+    section_bytes_[entry.kind] = entry.bytes;
+    section_checksums_[entry.kind] = entry.checksum;
+  }
+  for (size_t kind = 0; kind < kStf1SectionCount; ++kind) {
+    if (!seen[kind]) {
+      return CorruptError(
+          std::string("missing section ") +
+          Stf1SectionKindName(static_cast<Stf1SectionKind>(kind)));
+    }
+  }
+
+  SWIM_ASSIGN_OR_RETURN(
+      name_count_,
+      ValidateDictionary(SectionData(Stf1SectionKind::kNameDictOffsets),
+                         SectionBytes(Stf1SectionKind::kNameDictOffsets),
+                         SectionBytes(Stf1SectionKind::kNameDictBlob),
+                         "name"));
+  SWIM_ASSIGN_OR_RETURN(
+      path_count_,
+      ValidateDictionary(SectionData(Stf1SectionKind::kPathDictOffsets),
+                         SectionBytes(Stf1SectionKind::kPathDictOffsets),
+                         SectionBytes(Stf1SectionKind::kPathDictBlob),
+                         "path"));
+
+  job_count_ = header.job_count;
+  metadata_.name.assign(
+      reinterpret_cast<const char*>(SectionData(Stf1SectionKind::kTraceName)),
+      SectionBytes(Stf1SectionKind::kTraceName));
+  metadata_.machines = header.machines;
+  metadata_.year = header.year;
+  metadata_.has_names = (header.flags & kFlagHasNames) != 0;
+  metadata_.has_input_paths = (header.flags & kFlagHasInputPaths) != 0;
+  metadata_.has_output_paths = (header.flags & kFlagHasOutputPaths) != 0;
+  return Status::Ok();
+}
+
+#define SWIM_COLUMN_ACCESSOR(method, kind, type)                       \
+  Span<const type> ColumnarTraceView::method() const {                 \
+    return Span<const type>(                                           \
+        reinterpret_cast<const type*>(SectionData(Stf1SectionKind::kind)), \
+        job_count_);                                                   \
+  }
+
+SWIM_COLUMN_ACCESSOR(job_ids, kJobId, uint64_t)
+SWIM_COLUMN_ACCESSOR(submit_times, kSubmitTime, double)
+SWIM_COLUMN_ACCESSOR(durations, kDuration, double)
+SWIM_COLUMN_ACCESSOR(input_bytes, kInputBytes, double)
+SWIM_COLUMN_ACCESSOR(shuffle_bytes, kShuffleBytes, double)
+SWIM_COLUMN_ACCESSOR(output_bytes, kOutputBytes, double)
+SWIM_COLUMN_ACCESSOR(map_tasks, kMapTasks, int64_t)
+SWIM_COLUMN_ACCESSOR(reduce_tasks, kReduceTasks, int64_t)
+SWIM_COLUMN_ACCESSOR(map_task_seconds, kMapTaskSeconds, double)
+SWIM_COLUMN_ACCESSOR(reduce_task_seconds, kReduceTaskSeconds, double)
+SWIM_COLUMN_ACCESSOR(name_ids, kNameIds, uint32_t)
+SWIM_COLUMN_ACCESSOR(input_path_ids, kInputPathIds, uint32_t)
+SWIM_COLUMN_ACCESSOR(output_path_ids, kOutputPathIds, uint32_t)
+
+#undef SWIM_COLUMN_ACCESSOR
+
+std::string_view ColumnarTraceView::NameAt(uint32_t id) const {
+  const uint64_t* offsets = reinterpret_cast<const uint64_t*>(
+      SectionData(Stf1SectionKind::kNameDictOffsets));
+  const char* blob = reinterpret_cast<const char*>(
+      SectionData(Stf1SectionKind::kNameDictBlob));
+  return std::string_view(blob + offsets[id],
+                          offsets[id + 1] - offsets[id]);
+}
+
+std::string_view ColumnarTraceView::PathAt(uint32_t id) const {
+  const uint64_t* offsets = reinterpret_cast<const uint64_t*>(
+      SectionData(Stf1SectionKind::kPathDictOffsets));
+  const char* blob = reinterpret_cast<const char*>(
+      SectionData(Stf1SectionKind::kPathDictBlob));
+  return std::string_view(blob + offsets[id],
+                          offsets[id + 1] - offsets[id]);
+}
+
+Status ColumnarTraceView::VerifyChecksums() const {
+  for (size_t kind = 0; kind < kStf1SectionCount; ++kind) {
+    if (Checksum64(sections_[kind], section_bytes_[kind]) !=
+        section_checksums_[kind]) {
+      return CorruptError(
+          std::string("section ") +
+          Stf1SectionKindName(static_cast<Stf1SectionKind>(kind)) +
+          " checksum mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Trace> ColumnarTraceView::Materialize(int max_parallelism) const {
+  const size_t n = job_count_;
+  const Span<const uint64_t> job_id = job_ids();
+  const Span<const double> submit = submit_times();
+  const Span<const double> duration = durations();
+  const Span<const double> in_bytes = input_bytes();
+  const Span<const double> shuffle = shuffle_bytes();
+  const Span<const double> out_bytes = output_bytes();
+  const Span<const int64_t> map_task = map_tasks();
+  const Span<const int64_t> reduce_task = reduce_tasks();
+  const Span<const double> map_secs = map_task_seconds();
+  const Span<const double> reduce_secs = reduce_task_seconds();
+  const Span<const uint32_t> name_id = name_ids();
+  const Span<const uint32_t> in_id = input_path_ids();
+  const Span<const uint32_t> out_id = output_path_ids();
+
+  // Row materialization fans out over fixed-size chunks; each chunk stops
+  // at its first bad row and the lowest-index chunk's error wins, so the
+  // reported row is the earliest one at any thread count.
+  std::vector<JobRecord> jobs(n);
+  const size_t chunk_count = (n + kMaterializeGrain - 1) / kMaterializeGrain;
+  std::vector<Status> chunk_status(chunk_count, Status::Ok());
+  ParallelFor(
+      0, n, kMaterializeGrain,
+      [&](size_t lo, size_t hi) {
+        Status& status = chunk_status[lo / kMaterializeGrain];
+        for (size_t i = lo; i < hi; ++i) {
+          JobRecord& job = jobs[i];
+          job.job_id = job_id[i];
+          job.submit_time = submit[i];
+          job.duration = duration[i];
+          job.input_bytes = in_bytes[i];
+          job.shuffle_bytes = shuffle[i];
+          job.output_bytes = out_bytes[i];
+          job.map_tasks = map_task[i];
+          job.reduce_tasks = reduce_task[i];
+          job.map_task_seconds = map_secs[i];
+          job.reduce_task_seconds = reduce_secs[i];
+          if (!std::isfinite(job.submit_time) ||
+              !std::isfinite(job.duration) ||
+              !std::isfinite(job.input_bytes) ||
+              !std::isfinite(job.shuffle_bytes) ||
+              !std::isfinite(job.output_bytes) ||
+              !std::isfinite(job.map_task_seconds) ||
+              !std::isfinite(job.reduce_task_seconds)) {
+            status = CorruptError("row " + std::to_string(i) +
+                                  ": non-finite value");
+            return;
+          }
+          if (name_id[i] != kNoStringId && name_id[i] >= name_count_) {
+            status = CorruptError("row " + std::to_string(i) +
+                                  ": out-of-range name dictionary id");
+            return;
+          }
+          if (in_id[i] != kNoStringId && in_id[i] >= path_count_) {
+            status = CorruptError("row " + std::to_string(i) +
+                                  ": out-of-range input path dictionary id");
+            return;
+          }
+          if (out_id[i] != kNoStringId && out_id[i] >= path_count_) {
+            status = CorruptError("row " + std::to_string(i) +
+                                  ": out-of-range output path dictionary id");
+            return;
+          }
+          if (name_id[i] != kNoStringId) {
+            job.name = std::string(NameAt(name_id[i]));
+          }
+          if (in_id[i] != kNoStringId) {
+            job.input_path = std::string(PathAt(in_id[i]));
+          }
+          if (out_id[i] != kNoStringId) {
+            job.output_path = std::string(PathAt(out_id[i]));
+          }
+          std::string violation = ValidateJobRecord(job);
+          if (!violation.empty()) {
+            status = CorruptError("row " + std::to_string(i) + ": " +
+                                  violation);
+            return;
+          }
+        }
+      },
+      max_parallelism);
+  for (const Status& status : chunk_status) {
+    if (!status.ok()) return status;
+  }
+
+  Trace trace(metadata_);
+
+  // The id columns can be adopted as the trace's lazy indexes only when
+  // they are exactly what the lazy build would produce: the job stream
+  // sorted by submit time, dictionaries duplicate-free, ids in
+  // first-appearance order (input before output per row), empty fields
+  // mapped to kNoStringId, and no orphan dictionary entries. Files we wrote
+  // always satisfy this; a foreign or damaged file that does not simply
+  // falls back to SetJobs and rebuilds lazily.
+  bool adoptable = true;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (submit[i] > submit[i + 1]) {
+      adoptable = false;
+      break;
+    }
+  }
+  if (adoptable) {
+    uint32_t next_path = 0;
+    uint32_t next_name = 0;
+    auto canonical = [](uint32_t id, uint32_t* next) {
+      if (id == *next) {
+        ++(*next);
+        return true;
+      }
+      return id < *next;
+    };
+    for (size_t i = 0; i < n && adoptable; ++i) {
+      if (name_id[i] != kNoStringId) {
+        adoptable = canonical(name_id[i], &next_name) &&
+                    !NameAt(name_id[i]).empty();
+      }
+      if (adoptable && in_id[i] != kNoStringId) {
+        adoptable = canonical(in_id[i], &next_path) &&
+                    !PathAt(in_id[i]).empty();
+      }
+      if (adoptable && out_id[i] != kNoStringId) {
+        adoptable = canonical(out_id[i], &next_path) &&
+                    !PathAt(out_id[i]).empty();
+      }
+      if (adoptable) {
+        adoptable = (name_id[i] != kNoStringId) != jobs[i].name.empty() &&
+                    (in_id[i] != kNoStringId) != jobs[i].input_path.empty() &&
+                    (out_id[i] != kNoStringId) != jobs[i].output_path.empty();
+      }
+    }
+    adoptable = adoptable && next_path == path_count_ &&
+                next_name == name_count_;
+  }
+  if (!adoptable) {
+    trace.SetJobs(std::move(jobs));
+    return trace;
+  }
+
+  StringInterner path_interner;
+  path_interner.Reserve(path_count_);
+  for (size_t i = 0; i < path_count_; ++i) {
+    if (path_interner.Intern(PathAt(static_cast<uint32_t>(i))) != i) {
+      // Duplicate dictionary entry: consistent rows, non-canonical dict.
+      trace.SetJobs(std::move(jobs));
+      return trace;
+    }
+  }
+  StringInterner name_interner;
+  name_interner.Reserve(name_count_);
+  for (size_t i = 0; i < name_count_; ++i) {
+    if (name_interner.Intern(NameAt(static_cast<uint32_t>(i))) != i) {
+      trace.SetJobs(std::move(jobs));
+      return trace;
+    }
+  }
+  trace.SetJobsWithIndexes(
+      std::move(jobs), std::move(path_interner),
+      std::vector<uint32_t>(in_id.begin(), in_id.end()),
+      std::vector<uint32_t>(out_id.begin(), out_id.end()),
+      std::move(name_interner),
+      std::vector<uint32_t>(name_id.begin(), name_id.end()));
+  return trace;
+}
+
+StatusOr<Trace> TraceFromColumnarBytes(std::string_view bytes,
+                                       const ColumnarOptions& options) {
+  SWIM_ASSIGN_OR_RETURN(ColumnarTraceView view,
+                        ColumnarTraceView::FromBytes(bytes));
+  if (options.verify_checksums) {
+    SWIM_RETURN_IF_ERROR(view.VerifyChecksums());
+  }
+  return view.Materialize(options.threads);
+}
+
+StatusOr<Trace> LoadTraceColumnar(const std::string& path,
+                                  const ColumnarOptions& options) {
+  SWIM_ASSIGN_OR_RETURN(ColumnarTraceView view,
+                        ColumnarTraceView::Open(path, options));
+  if (options.verify_checksums) {
+    SWIM_RETURN_IF_ERROR(view.VerifyChecksums());
+  }
+  return view.Materialize(options.threads);
+}
+
+// ---------------------------------------------------------------------------
+// Auto-sniffing
+// ---------------------------------------------------------------------------
+
+const char* TraceFormatName(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kCsv:
+      return "csv";
+    case TraceFormat::kStf1:
+      return "stf1";
+  }
+  return "?";
+}
+
+StatusOr<TraceFormat> SniffTraceFormat(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) return IoError("cannot open for reading: " + path);
+  uint32_t magic = 0;
+  const size_t got = std::fread(&magic, 1, sizeof(magic), in);
+  std::fclose(in);
+  if (got == sizeof(magic) && magic == kStf1Magic) return TraceFormat::kStf1;
+  return TraceFormat::kCsv;
+}
+
+StatusOr<Trace> ReadTraceAuto(const std::string& path,
+                              const ParseOptions& parse_options,
+                              ParseReport* report,
+                              const ColumnarOptions& columnar_options) {
+  SWIM_ASSIGN_OR_RETURN(TraceFormat format, SniffTraceFormat(path));
+  if (format == TraceFormat::kCsv) {
+    return ReadTraceCsv(path, parse_options, report);
+  }
+  ColumnarOptions options = columnar_options;
+  if (options.threads == 0) options.threads = parse_options.threads;
+  SWIM_ASSIGN_OR_RETURN(Trace trace, LoadTraceColumnar(path, options));
+  if (report) {
+    *report = ParseReport{};
+    report->mode = parse_options.mode;
+    report->total_rows = trace.size();
+    report->accepted = trace.size();
+  }
+  return trace;
+}
+
+bool HasColumnarExtension(std::string_view path) {
+  const std::string lower = ToLower(path);
+  return EndsWith(lower, ".stf") || EndsWith(lower, ".stf1");
+}
+
+Status WriteTraceAuto(const Trace& trace, const std::string& path) {
+  if (HasColumnarExtension(path)) return WriteTraceColumnar(trace, path);
+  return WriteTraceCsv(trace, path);
+}
+
+}  // namespace swim::trace

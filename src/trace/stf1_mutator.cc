@@ -1,0 +1,106 @@
+#include "trace/stf1_mutator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/random.h"
+#include "trace/columnar.h"
+
+namespace swim::trace {
+namespace {
+
+/// Overwrites `bytes` little-endian at `offset` (clipped to the buffer).
+void PokeU64(std::string* out, size_t offset, uint64_t value) {
+  if (offset + sizeof(value) > out->size()) return;
+  std::memcpy(out->data() + offset, &value, sizeof(value));
+}
+
+uint64_t NextU64(Pcg32& rng) {
+  return (static_cast<uint64_t>(rng()) << 32) | rng();
+}
+
+}  // namespace
+
+std::string Stf1Mutator::Mutate(std::string_view stf1,
+                                uint64_t iteration) const {
+  // Same decorrelation recipe as CsvMutator: a fresh per-iteration
+  // generator keyed by a splitmix-style multiply.
+  Pcg32 rng(seed_ + 0x9e3779b97f4a7c15ULL * (iteration + 1),
+            /*stream=*/0x57f1);
+  std::string out(stf1);
+  const int mutation_count = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int m = 0; m < mutation_count; ++m) {
+    if (out.empty()) break;
+    switch (rng.NextBounded(10)) {
+      case 0:  // Truncate: interrupted download / partial flush.
+        out.resize(rng.NextBounded(out.size() + 1));
+        break;
+      case 1: {  // Flip bytes anywhere: bit rot.
+        const uint64_t flips = 1 + rng.NextBounded(8);
+        for (uint64_t f = 0; f < flips && !out.empty(); ++f) {
+          out[rng.NextBounded(out.size())] ^=
+              static_cast<char>(1 + rng.NextBounded(255));
+        }
+        break;
+      }
+      case 2: {  // Zero a range: torn write / sparse-file hole.
+        const size_t start = rng.NextBounded(out.size());
+        const size_t len =
+            std::min<size_t>(1 + rng.NextBounded(256), out.size() - start);
+        std::memset(out.data() + start, 0, len);
+        break;
+      }
+      case 3: {  // Splice one region over another: bad copy.
+        const size_t src = rng.NextBounded(out.size());
+        const size_t len =
+            std::min<size_t>(1 + rng.NextBounded(128), out.size() - src);
+        out.insert(rng.NextBounded(out.size() + 1), out, src, len);
+        break;
+      }
+      case 4: {  // Append junk past the footer.
+        const uint64_t extra = 1 + rng.NextBounded(96);
+        for (uint64_t i = 0; i < extra; ++i) {
+          out.push_back(static_cast<char>(rng.NextBounded(256)));
+        }
+        break;
+      }
+      case 5:  // Strike the magic / version words.
+        PokeU64(&out, 0, NextU64(rng));
+        break;
+      case 6:  // Lie about the job count.
+        PokeU64(&out, offsetof(Stf1Header, job_count),
+                rng.NextBounded(2) ? NextU64(rng)
+                                   : rng.NextBounded(1u << 20));
+        break;
+      case 7: {  // Redirect the section table.
+        PokeU64(&out, offsetof(Stf1Header, table_offset), NextU64(rng));
+        if (rng.NextBounded(2)) {
+          PokeU64(&out, offsetof(Stf1Header, table_bytes), NextU64(rng));
+        }
+        break;
+      }
+      case 8: {  // Damage one section-table entry field.
+        const size_t entry = rng.NextBounded(kStf1SectionCount);
+        const size_t field = rng.NextBounded(4);  // kind+elem, offset, bytes, checksum
+        PokeU64(&out,
+                sizeof(Stf1Header) + entry * sizeof(Stf1Section) + field * 8,
+                NextU64(rng));
+        break;
+      }
+      case 9: {  // Flip bytes inside the dictionary / trailing regions,
+                 // where offsets arrays and blobs live.
+        const size_t start = out.size() / 2;
+        if (start >= out.size()) break;
+        const uint64_t flips = 1 + rng.NextBounded(8);
+        for (uint64_t f = 0; f < flips; ++f) {
+          const size_t at = start + rng.NextBounded(out.size() - start);
+          out[at] ^= static_cast<char>(1 + rng.NextBounded(255));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace swim::trace

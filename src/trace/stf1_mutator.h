@@ -1,0 +1,35 @@
+#ifndef SWIM_TRACE_STF1_MUTATOR_H_
+#define SWIM_TRACE_STF1_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swim::trace {
+
+/// Deterministic STF1 corruption engine — the binary sibling of CsvMutator.
+/// Shared by the gtest fuzzer (tests/columnar_test.cc) and the CI corpus
+/// driver (bench/bench_fuzz_ingest.cc) so a failing iteration reproduces
+/// from (seed, iteration) alone.
+///
+/// Mutations model real binary-file damage: truncated uploads, bit rot,
+/// zeroed pages from a torn write, spliced regions from a bad copy, junk
+/// appended past the footer — plus format-aware strikes at the header and
+/// section table (the regions whose validation the reader must never trust
+/// blindly): magic/version/job-count/offset perturbations and targeted
+/// section-entry damage.
+class Stf1Mutator {
+ public:
+  explicit Stf1Mutator(uint64_t seed) : seed_(seed) {}
+
+  /// Returns a corrupted copy of `stf1`. Deterministic in (seed,
+  /// iteration) and independent of call order. Applies 1-4 mutations.
+  std::string Mutate(std::string_view stf1, uint64_t iteration) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace swim::trace
+
+#endif  // SWIM_TRACE_STF1_MUTATOR_H_

@@ -94,6 +94,33 @@ void Trace::SetJobs(std::vector<JobRecord> jobs) {
   EnsureSorted();
 }
 
+void Trace::SetJobsWithIndexes(std::vector<JobRecord> jobs,
+                               StringInterner path_interner,
+                               std::vector<uint32_t> input_path_ids,
+                               std::vector<uint32_t> output_path_ids,
+                               StringInterner name_interner,
+                               std::vector<uint32_t> name_ids) {
+  const size_t n = jobs.size();
+  const bool sorted = std::is_sorted(
+      jobs.begin(), jobs.end(), [](const JobRecord& a, const JobRecord& b) {
+        return a.submit_time < b.submit_time;
+      });
+  if (!sorted || input_path_ids.size() != n || output_path_ids.size() != n ||
+      name_ids.size() != n) {
+    SetJobs(std::move(jobs));
+    return;
+  }
+  jobs_ = std::move(jobs);
+  path_interner_ = std::move(path_interner);
+  name_interner_ = std::move(name_interner);
+  input_path_ids_ = std::move(input_path_ids);
+  output_path_ids_ = std::move(output_path_ids);
+  name_ids_ = std::move(name_ids);
+  sorted_.store(true, std::memory_order_release);
+  path_indexed_.store(true, std::memory_order_release);
+  name_indexed_.store(true, std::memory_order_release);
+}
+
 void Trace::EnsureSorted() const {
   if (sorted_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(lazy_mu_);

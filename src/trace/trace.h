@@ -57,6 +57,23 @@ class Trace {
   /// Bulk replacement; takes ownership and sorts.
   void SetJobs(std::vector<JobRecord> jobs);
 
+  /// Bulk replacement with pre-built interned-id state — the columnar
+  /// (STF1) load path, where the dictionaries and id columns were persisted
+  /// at write time and re-interning 1M+ rows would just reproduce them.
+  /// The caller guarantees the id state matches what the lazy build would
+  /// produce: `jobs` sorted by submit time, ids in first-appearance order,
+  /// empty fields mapped to kNoStringId (ColumnarTraceView::Materialize
+  /// verifies all of this before calling). If `jobs` turns out unsorted or
+  /// a column length mismatches, the id state is discarded and this
+  /// degrades to SetJobs (lazy rebuild) instead of publishing corrupt
+  /// indexes.
+  void SetJobsWithIndexes(std::vector<JobRecord> jobs,
+                          StringInterner path_interner,
+                          std::vector<uint32_t> input_path_ids,
+                          std::vector<uint32_t> output_path_ids,
+                          StringInterner name_interner,
+                          std::vector<uint32_t> name_ids);
+
   /// Validates every record; returns the first violation.
   Status Validate() const;
 

@@ -1,19 +1,21 @@
 // swim_analyze: run the paper's full workload analysis over a trace.
 //
-//   swim_analyze <trace.csv> [--on-error strict|skip|repair]
-//                                         analyze a CSV trace
+//   swim_analyze <trace.csv|trace.stf1> [--on-error strict|skip|repair]
+//                                         analyze a trace (format sniffed
+//                                         from the magic bytes)
 //   swim_analyze --workload <name> [n]    analyze a generated paper
 //                                         workload (optionally n jobs)
 //   swim_analyze --list                   list built-in workloads
 //
 // Output: the combined data/temporal/compute report (sections 4-6).
-// With --on-error skip|repair, malformed rows are dropped or patched and
-// an ingest report goes to stderr instead of the load aborting.
+// With --on-error skip|repair, malformed CSV rows are dropped or patched
+// and an ingest report goes to stderr instead of the load aborting.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/analysis/workload_report.h"
+#include "trace/columnar.h"
 #include "trace/trace_io.h"
 #include "workloads/paper_workloads.h"
 #include "workloads/trace_generator.h"
@@ -22,7 +24,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: swim_analyze <trace.csv> "
+               "usage: swim_analyze <trace.csv|trace.stf1> "
                "[--on-error strict|skip|repair]\n"
                "       swim_analyze --workload <name> [jobs]\n"
                "       swim_analyze --list\n");
@@ -102,7 +104,7 @@ int main(int argc, char** argv) {
       }
     }
     trace::ParseReport report;
-    auto loaded = trace::ReadTraceCsv(arg, parse_options, &report);
+    auto loaded = trace::ReadTraceAuto(arg, parse_options, &report);
     if (!loaded.ok()) {
       std::fprintf(stderr, "cannot load %s: %s\n", arg.c_str(),
                    loaded.status().ToString().c_str());

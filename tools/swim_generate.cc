@@ -1,12 +1,14 @@
-// swim_generate: emit a calibrated paper workload as a CSV trace.
+// swim_generate: emit a calibrated paper workload as a trace file.
 //
-//   swim_generate <workload> <out.csv> [jobs] [seed]
+//   swim_generate <workload> <out> [jobs] [seed]
 //
 // Workload names are Table 1's: CC-a..CC-e, FB-2009, FB-2010
-// (swim_analyze --list shows details).
+// (swim_analyze --list shows details). Output is STF1 when <out> ends in
+// .stf/.stf1, CSV otherwise.
 #include <cstdio>
 #include <cstdlib>
 
+#include "trace/columnar.h"
 #include "trace/trace_io.h"
 #include "workloads/paper_workloads.h"
 #include "workloads/spec_io.h"
@@ -16,7 +18,7 @@ int main(int argc, char** argv) {
   using namespace swim;
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: swim_generate <workload-or-spec-file> <out.csv> "
+                 "usage: swim_generate <workload-or-spec-file> <out> "
                  "[jobs] [seed]\n");
     return 2;
   }
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
     return 1;
   }
-  Status written = trace::WriteTraceCsv(*trace, argv[2]);
+  Status written = trace::WriteTraceAuto(*trace, argv[2]);
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;

@@ -1,6 +1,7 @@
 // swim_replay: replay a trace on the simulated cluster.
 //
-//   swim_replay <trace.csv> [--nodes N] [--scheduler fifo|fair|two-tier]
+//   swim_replay <trace.csv|trace.stf1> [--nodes N]
+//               [--scheduler fifo|fair|two-tier]
 //               [--stragglers P] [--on-error strict|skip|repair]
 //               [--task-failures P] [--node-loss R] [--max-attempts N]
 //               [--retry-backoff S] [--failure-point F] [--seed S]
@@ -32,6 +33,7 @@
 #include "common/units.h"
 #include "sim/replay.h"
 #include "sim/sweep.h"
+#include "trace/columnar.h"
 #include "trace/trace_io.h"
 
 namespace {
@@ -39,7 +41,7 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: swim_replay <trace.csv> [--nodes N] "
+      "usage: swim_replay <trace.csv|trace.stf1> [--nodes N] "
       "[--scheduler fifo|fair|two-tier] [--stragglers P]\n"
       "                   [--on-error strict|skip|repair] "
       "[--task-failures P] [--node-loss R]\n"
@@ -141,7 +143,7 @@ int main(int argc, char** argv) {
   }
 
   trace::ParseReport report;
-  auto trace = trace::ReadTraceCsv(argv[1], parse_options, &report);
+  auto trace = trace::ReadTraceAuto(argv[1], parse_options, &report);
   if (!trace.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
                  trace.status().ToString().c_str());

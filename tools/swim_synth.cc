@@ -1,8 +1,11 @@
 // swim_synth: the SWIM pipeline as a command-line tool.
 //
-//   swim_synth fit <trace.csv> <model.swim>        fit + save a model
-//   swim_synth gen <model.swim> <out.csv> [jobs]   synthesize a trace
-//   swim_synth check <trace.csv> <synth.csv>       fidelity report
+//   swim_synth fit <trace> <model.swim>          fit + save a model
+//   swim_synth gen <model.swim> <out> [jobs]     synthesize a trace
+//   swim_synth check <trace> <synth>             fidelity report
+//
+// Trace inputs may be CSV or STF1 (sniffed from the magic bytes); gen
+// writes STF1 when the output path ends in .stf/.stf1, CSV otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -10,15 +13,16 @@
 #include "core/synth/fidelity.h"
 #include "core/synth/synthesizer.h"
 #include "core/synth/workload_model.h"
+#include "trace/columnar.h"
 #include "trace/trace_io.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: swim_synth fit <trace.csv> <model.swim>\n"
-               "       swim_synth gen <model.swim> <out.csv> [jobs]\n"
-               "       swim_synth check <trace.csv> <synth.csv>\n");
+               "usage: swim_synth fit <trace> <model.swim>\n"
+               "       swim_synth gen <model.swim> <out> [jobs]\n"
+               "       swim_synth check <trace> <synth>\n");
   return 2;
 }
 
@@ -35,7 +39,7 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
 
   if (command == "fit") {
-    auto trace = trace::ReadTraceCsv(argv[2]);
+    auto trace = trace::ReadTraceAuto(argv[2]);
     if (!trace.ok()) return Fail(trace.status());
     auto model = core::BuildModel(*trace);
     if (!model.ok()) return Fail(model.status());
@@ -58,15 +62,15 @@ int main(int argc, char** argv) {
     }
     auto synth = core::SynthesizeTrace(*model, options);
     if (!synth.ok()) return Fail(synth.status());
-    Status written = trace::WriteTraceCsv(*synth, argv[3]);
+    Status written = trace::WriteTraceAuto(*synth, argv[3]);
     if (!written.ok()) return Fail(written);
     std::printf("synthesized %zu jobs -> %s\n", synth->size(), argv[3]);
     return 0;
   }
   if (command == "check") {
-    auto source = trace::ReadTraceCsv(argv[2]);
+    auto source = trace::ReadTraceAuto(argv[2]);
     if (!source.ok()) return Fail(source.status());
-    auto synth = trace::ReadTraceCsv(argv[3]);
+    auto synth = trace::ReadTraceAuto(argv[3]);
     if (!synth.ok()) return Fail(synth.status());
     core::FidelityReport report = core::CompareTraces(*source, *synth);
     std::printf("%s", core::FormatFidelity(report).c_str());
