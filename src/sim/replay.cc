@@ -143,6 +143,26 @@ Status ValidateFailureOptions(const FailureOptions& failures) {
   return Status::Ok();
 }
 
+Status ValidateSlaOptions(const SlaOptions& sla) {
+  if (!(sla.small_multiplier > 0.0) ||
+      !std::isfinite(sla.small_multiplier) ||
+      !(sla.large_multiplier > 0.0) ||
+      !std::isfinite(sla.large_multiplier)) {
+    return InvalidArgumentError("SLA multipliers must be finite and > 0");
+  }
+  if (sla.preemption_budget < 0) {
+    return InvalidArgumentError("preemption_budget must be >= 0");
+  }
+  if (sla.tenants < 0) {
+    return InvalidArgumentError("tenants must be >= 0");
+  }
+  if (sla.tenants > 0 && sla.tenant_max_running < 1) {
+    return InvalidArgumentError(
+        "tenant_max_running must be >= 1 when admission control is enabled");
+  }
+  return Status::Ok();
+}
+
 /// One replay run against a shared ReplayTemplate. Determinism contract:
 /// everything below is a pure function of (template, options); the event
 /// order equals the retired priority-queue engine's order, the RNG
@@ -182,7 +202,12 @@ class ReplayEngine {
         in_active_(ArenaAllocator<uint8_t>(arena)),
         active_prev_(ArenaAllocator<size_t>(arena)),
         active_next_(ArenaAllocator<size_t>(arena)),
-        parked_heap_(ArenaAllocator<std::pair<double, size_t>>(arena)) {}
+        parked_heap_(ArenaAllocator<std::pair<double, size_t>>(arena)),
+        admitted_(ArenaAllocator<uint8_t>(arena)),
+        adm_next_(ArenaAllocator<size_t>(arena)),
+        adm_head_(ArenaAllocator<size_t>(arena)),
+        adm_tail_(ArenaAllocator<size_t>(arena)),
+        tenant_running_(ArenaAllocator<int64_t>(arena)) {}
 
   StatusOr<ReplayResult> Run();
 
@@ -215,7 +240,7 @@ class ReplayEngine {
   void Refresh(size_t i) {
     const SimJob& job = jobs_[i];
     const bool base = arrived_[i] != 0 && !job.failed && parked_[i] == 0 &&
-                      job.unfinished_parents == 0;
+                      job.unfinished_parents == 0 && !job.admission_parked;
     SetMembership(runnable_maps_, map_pos_, i,
                   base && job.maps_launched < job.maps_total);
     SetMembership(runnable_reduces_, reduce_pos_, i,
@@ -270,6 +295,25 @@ class ReplayEngine {
   bool GrantKind(TaskKind kind, double now);
   void ScheduleLoop(double now);
 
+  // --- SLA tier (admission control, elephant preemption, accounting) ---
+
+  /// Admission control: called when a job becomes eligible (arrived with
+  /// no unfinished parents). Grants a tenant token if one is free, else
+  /// parks the job on its tenant's FIFO queue; parked jobs are never
+  /// runnable. No-op when admission is disabled or the token is held.
+  void TryAdmit(size_t i, double now);
+  /// Returns the tenant token at job finish/kill and admits the tenant's
+  /// longest-parked job, if any.
+  void ReleaseAdmission(size_t i, double now);
+  /// One elephant-preemption round for a kind: with no free slot and an
+  /// interactive job runnable, revoke running tasks from the largest
+  /// large job and launch the interactive job into the freed slots
+  /// directly (bypassing PickJob, so a FIFO-ranked elephant cannot
+  /// re-absorb them). Returns true if tasks were revoked.
+  bool PreemptKind(TaskKind kind, double now);
+  /// Deadline-miss + per-tenant accounting at job end (finish or kill).
+  void AccountSla(const SimJob& job, bool killed);
+
   const ReplayTemplate& tpl_;
   const ReplayOptions& options_;
   const FailureOptions& failures_;
@@ -308,6 +352,23 @@ class ReplayEngine {
   /// lazy: retry_ready_time may have been raised after an entry was
   /// pushed, in which case the stale entry re-parks itself on pop.
   ArenaVector<std::pair<double, size_t>> parked_heap_;
+
+  // --- Admission control state (sized only when enabled) ---------------
+  /// Whether job i currently holds its tenant's token. A job acquires the
+  /// token once (at eligibility or when popped from the park queue) and
+  /// returns it once (finish or kill), so parking happens at most once
+  /// per job.
+  ArenaVector<uint8_t> admitted_;
+  /// Intrusive per-tenant FIFO park queues: adm_next_[i] links jobs, one
+  /// (head, tail) pair per tenant.
+  ArenaVector<size_t> adm_next_;
+  ArenaVector<size_t> adm_head_;
+  ArenaVector<size_t> adm_tail_;
+  /// Tokens held per tenant (admitted jobs not yet finished/killed).
+  ArenaVector<int64_t> tenant_running_;
+
+  /// Elephant preemption: revocations remaining this run.
+  int64_t preempt_budget_left_ = 0;
 };
 
 // Launches `count` tasks of one kind as at most three events: a failing
@@ -411,6 +472,10 @@ void ReplayEngine::HandleAttemptFailure(size_t job_index, TaskKind kind,
     job.failed = true;
     ++result_.failures.failed_jobs;
     UnlinkActive(job_index);
+    // A killed job will never meet its deadline (scored as an SLA miss)
+    // and returns its tenant token immediately.
+    AccountSla(job, /*killed=*/true);
+    ReleaseAdmission(job_index, now);
     Refresh(job_index);
     return;
   }
@@ -438,6 +503,163 @@ void ReplayEngine::HandleAttemptFailure(size_t job_index, TaskKind kind,
     std::push_heap(parked_heap_.begin(), parked_heap_.end(),
                    std::greater<>());
     Refresh(job_index);
+  }
+}
+
+void ReplayEngine::TryAdmit(size_t i, double now) {
+  if (!options_.sla.admission_enabled() || admitted_[i]) return;
+  SimJob& job = jobs_[i];
+  const int tenant = job.tenant_id;
+  if (tenant_running_[tenant] < options_.sla.tenant_max_running) {
+    admitted_[i] = 1;
+    ++tenant_running_[tenant];
+    if (job.admission_parked) {
+      job.admission_parked = false;
+      job.admission_wait = now - job.admission_park_time;
+    }
+    Refresh(i);
+  } else {
+    job.admission_parked = true;
+    job.admission_park_time = now;
+    adm_next_[i] = kNone;
+    if (adm_tail_[tenant] != kNone) {
+      adm_next_[adm_tail_[tenant]] = i;
+    } else {
+      adm_head_[tenant] = i;
+    }
+    adm_tail_[tenant] = i;
+  }
+}
+
+void ReplayEngine::ReleaseAdmission(size_t i, double now) {
+  if (!options_.sla.admission_enabled() || !admitted_[i]) return;
+  admitted_[i] = 0;
+  const int tenant = jobs_[i].tenant_id;
+  --tenant_running_[tenant];
+  const size_t next = adm_head_[tenant];
+  if (next != kNone) {
+    adm_head_[tenant] = adm_next_[next];
+    if (adm_head_[tenant] == kNone) adm_tail_[tenant] = kNone;
+    adm_next_[next] = kNone;
+    // The token just freed guarantees this admit succeeds, keeping the
+    // queue strictly FIFO per tenant.
+    TryAdmit(next, now);
+  }
+}
+
+bool ReplayEngine::PreemptKind(TaskKind kind, double now) {
+  if (preempt_budget_left_ <= 0) return false;
+  int64_t& free_slots =
+      kind == TaskKind::kMap ? free_map_slots_ : free_reduce_slots_;
+  if (free_slots > 0) return false;
+  const ArenaVector<size_t>& runnable =
+      kind == TaskKind::kMap ? runnable_maps_ : runnable_reduces_;
+  // Earliest-submitted interactive job with unlaunched tasks of `kind`
+  // (ties to lowest index, like every policy).
+  int want = -1;
+  double want_submit = std::numeric_limits<double>::max();
+  for (size_t index : runnable) {
+    const SimJob& job = jobs_[index];
+    if (!job.is_small) continue;
+    if (want < 0 || job.submit_time < want_submit ||
+        (job.submit_time == want_submit &&
+         index < static_cast<size_t>(want))) {
+      want_submit = job.submit_time;
+      want = static_cast<int>(index);
+    }
+  }
+  if (want < 0) return false;
+  // Victim: the large job with the most remaining work among those with
+  // revocable running tasks of the kind (running minus tasks already
+  // reserved by node-loss kills or earlier revocations). Ties break to
+  // the latest-submitted, highest-index elephant - preempting the
+  // youngest equal-size victim loses the least sunk scheduling progress.
+  size_t victim = kNone;
+  double victim_work = -1.0;
+  double victim_submit = -1.0;
+  int64_t victim_revocable = 0;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const SimJob& job = jobs_[i];
+    if (job.is_small || job.failed) continue;
+    const int64_t pinned =
+        kind == TaskKind::kMap
+            ? job.kill_pending_maps + job.preempt_pending_maps
+            : job.kill_pending_reduces + job.preempt_pending_reduces;
+    const int64_t revocable =
+        (kind == TaskKind::kMap ? job.maps_running()
+                                : job.reduces_running()) -
+        pinned;
+    if (revocable <= 0) continue;
+    const double work = job.RemainingWork();
+    if (victim == kNone || work > victim_work ||
+        (work == victim_work &&
+         (job.submit_time > victim_submit ||
+          (job.submit_time == victim_submit && i > victim)))) {
+      victim = i;
+      victim_work = work;
+      victim_submit = job.submit_time;
+      victim_revocable = revocable;
+    }
+  }
+  if (victim == kNone) return false;
+  SimJob& interactive = jobs_[static_cast<size_t>(want)];
+  SimJob& elephant = jobs_[victim];
+  const int64_t need =
+      kind == TaskKind::kMap
+          ? interactive.maps_total - interactive.maps_launched
+          : interactive.reduces_total - interactive.reduces_launched;
+  const int64_t revoke =
+      std::min({need, victim_revocable, preempt_budget_left_});
+  if (revoke <= 0) return false;
+  // Revocation: the tasks leave the running pool now (slots free, counts
+  // roll back) and re-join the unlaunched pool via relaunch debt, so
+  // their re-launch is counted as retries exactly like failure recovery.
+  // Their already-queued completion/failure events are swallowed later
+  // through preempt_pending (mirroring kill_pending's heartbeat-timeout
+  // consumption).
+  if (kind == TaskKind::kMap) {
+    elephant.maps_launched -= revoke;
+    elephant.preempt_pending_maps += revoke;
+    elephant.map_relaunch_debt += revoke;
+    context_.large_running_maps -= revoke;
+  } else {
+    elephant.reduces_launched -= revoke;
+    elephant.preempt_pending_reduces += revoke;
+    elephant.reduce_relaunch_debt += revoke;
+    context_.large_running_reduces -= revoke;
+  }
+  free_slots += revoke;
+  elephant.preempted_tasks += revoke;
+  result_.sla.preempted_tasks += revoke;
+  ++result_.sla.preemption_rounds;
+  preempt_budget_left_ -= revoke;
+  Refresh(victim);
+  LaunchBatch(static_cast<size_t>(want), kind, now, revoke);
+  return true;
+}
+
+void ReplayEngine::AccountSla(const SimJob& job, bool killed) {
+  if (job.deadline >= 0.0) {
+    const bool missed = killed || job.finish_time > job.deadline;
+    if (job.is_small) {
+      ++result_.sla.small_jobs_with_deadline;
+      if (missed) ++result_.sla.small_misses;
+    } else {
+      ++result_.sla.large_jobs_with_deadline;
+      if (missed) ++result_.sla.large_misses;
+    }
+  }
+  if (options_.sla.admission_enabled()) {
+    TenantStats& tenant = result_.sla.tenants[job.tenant_id];
+    ++tenant.jobs;
+    if (job.admission_park_time >= 0.0) {
+      ++tenant.parked_jobs;
+      ++result_.sla.admission_parked_jobs;
+      tenant.total_admission_delay += job.admission_wait;
+      result_.sla.total_admission_delay += job.admission_wait;
+      tenant.max_admission_delay =
+          std::max(tenant.max_admission_delay, job.admission_wait);
+    }
   }
 }
 
@@ -501,6 +723,18 @@ void ReplayEngine::ScheduleLoop(double now) {
     granted |= GrantKind(TaskKind::kMap, now);
     granted |= GrantKind(TaskKind::kReduce, now);
   }
+  // Elephant preemption runs after normal grants: only when a pool is
+  // saturated and an interactive job is still waiting may running
+  // elephant tasks be revoked. The loop is bounded by the per-run budget
+  // (each successful round revokes >= 1 task).
+  if (preempt_budget_left_ > 0) {
+    bool preempted = true;
+    while (preempted) {
+      preempted = false;
+      preempted |= PreemptKind(TaskKind::kMap, now);
+      preempted |= PreemptKind(TaskKind::kReduce, now);
+    }
+  }
 }
 
 StatusOr<ReplayResult> ReplayEngine::Run() {
@@ -511,8 +745,13 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
   }
   Status failure_status = ValidateFailureOptions(failures_);
   if (!failure_status.ok()) return failure_status;
+  Status sla_status = ValidateSlaOptions(options_.sla);
+  if (!sla_status.ok()) return sla_status;
 
-  scheduler_ = MakeScheduler(options_.scheduler);
+  auto scheduler = MakeScheduler(options_.scheduler);
+  if (!scheduler.ok()) return scheduler.status();
+  scheduler_ = std::move(scheduler).value();
+  preempt_budget_left_ = options_.sla.preemption_budget;
 
   // The per-trace build phase already happened (shared ReplayTemplate);
   // a run starts from a bulk copy of the skeletons — SimJob is trivially
@@ -531,6 +770,18 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
   // abandon the old buffer until the lane resets.
   runnable_maps_.reserve(n);
   runnable_reduces_.reserve(n);
+
+  if (options_.sla.admission_enabled()) {
+    admitted_.assign(n, 0);
+    adm_next_.assign(n, kNone);
+    adm_head_.assign(static_cast<size_t>(options_.sla.tenants), kNone);
+    adm_tail_.assign(static_cast<size_t>(options_.sla.tenants), kNone);
+    tenant_running_.assign(static_cast<size_t>(options_.sla.tenants), 0);
+    result_.sla.tenants.resize(static_cast<size_t>(options_.sla.tenants));
+    for (int t = 0; t < options_.sla.tenants; ++t) {
+      result_.sla.tenants[static_cast<size_t>(t)].tenant = t;
+    }
+  }
 
   for (size_t i = 0; i < n; ++i) {
     PushEvent(jobs_[i].submit_time, Event::Kind::kArrival, i,
@@ -567,6 +818,13 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
       case Event::Kind::kArrival:
         arrived_[event.job_index] = 1;
         LinkActive(event.job_index);
+        // Admission gates only eligible jobs (arrived AND parent-free):
+        // a parent-blocked job must not hold a tenant token its own
+        // parent is waiting for. Parent-blocked jobs admit from the
+        // parent-finish path instead.
+        if (job.unfinished_parents == 0) {
+          TryAdmit(event.job_index, event.time);
+        }
         Refresh(event.job_index);
         break;
       case Event::Kind::kWake:
@@ -611,50 +869,82 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
         break;
       }
       case Event::Kind::kTasksFailed: {
+        // Preempted tasks consumed first: a revoked task already left the
+        // running pool (slot freed, launch count rolled back) and sits in
+        // the relaunch-debt queue - its old in-flight failure must not
+        // fail it a second time.
+        int64_t& preempt_pending = event.task_kind == TaskKind::kMap
+                                       ? job.preempt_pending_maps
+                                       : job.preempt_pending_reduces;
+        const int64_t revoked = std::min(event.count, preempt_pending);
+        preempt_pending -= revoked;
+        const int64_t effective = event.count - revoked;
         if (event.task_kind == TaskKind::kMap) {
-          job.maps_launched -= event.count;
-          free_map_slots_ += event.count;
-          if (!job.is_small) context_.large_running_maps -= event.count;
+          job.maps_launched -= effective;
+          free_map_slots_ += effective;
+          if (!job.is_small) context_.large_running_maps -= effective;
           // Tasks that died on their own also satisfy any pending
           // node-loss kill (they no longer exist to be killed later).
           job.kill_pending_maps =
-              std::max<int64_t>(0, job.kill_pending_maps - event.count);
+              std::max<int64_t>(0, job.kill_pending_maps - effective);
         } else {
-          job.reduces_launched -= event.count;
-          free_reduce_slots_ += event.count;
-          if (!job.is_small) context_.large_running_reduces -= event.count;
+          job.reduces_launched -= effective;
+          free_reduce_slots_ += effective;
+          if (!job.is_small) context_.large_running_reduces -= effective;
           job.kill_pending_reduces =
-              std::max<int64_t>(0, job.kill_pending_reduces - event.count);
+              std::max<int64_t>(0, job.kill_pending_reduces - effective);
         }
-        result_.failures.task_failures += event.count;
+        result_.failures.task_failures += effective;
         result_.failures.failed_task_seconds +=
-            static_cast<double>(event.count) * event.unit_seconds;
-        context_.failed_attempts += event.count;
-        HandleAttemptFailure(event.job_index, event.task_kind, event.attempt,
-                             event.count, event.time);
+            static_cast<double>(effective) * event.unit_seconds;
+        context_.failed_attempts += effective;
+        if (effective > 0) {
+          HandleAttemptFailure(event.job_index, event.task_kind,
+                               event.attempt, effective, event.time);
+        }
         Refresh(event.job_index);
         break;
       }
       case Event::Kind::kTasksDone: {
         int64_t killed = 0;
+        // Node-loss kills consume completions first (they reserved
+        // running tasks), then preempted tasks are swallowed: a revoked
+        // task's slot was freed and its launch count rolled back at
+        // revocation time, so this event neither finishes nor re-frees
+        // it.
+        int64_t revoked = 0;
         if (event.task_kind == TaskKind::kMap) {
           if (job.kill_pending_maps > 0) {
             killed = std::min(event.count, job.kill_pending_maps);
             job.kill_pending_maps -= killed;
           }
-          job.maps_finished += event.count - killed;
+          if (job.preempt_pending_maps > 0) {
+            revoked = std::min(event.count - killed,
+                               job.preempt_pending_maps);
+            job.preempt_pending_maps -= revoked;
+          }
+          job.maps_finished += event.count - killed - revoked;
           job.maps_launched -= killed;
-          free_map_slots_ += event.count;
-          if (!job.is_small) context_.large_running_maps -= event.count;
+          free_map_slots_ += event.count - revoked;
+          if (!job.is_small) {
+            context_.large_running_maps -= event.count - revoked;
+          }
         } else {
           if (job.kill_pending_reduces > 0) {
             killed = std::min(event.count, job.kill_pending_reduces);
             job.kill_pending_reduces -= killed;
           }
-          job.reduces_finished += event.count - killed;
+          if (job.preempt_pending_reduces > 0) {
+            revoked = std::min(event.count - killed,
+                               job.preempt_pending_reduces);
+            job.preempt_pending_reduces -= revoked;
+          }
+          job.reduces_finished += event.count - killed - revoked;
           job.reduces_launched -= killed;
-          free_reduce_slots_ += event.count;
-          if (!job.is_small) context_.large_running_reduces -= event.count;
+          free_reduce_slots_ += event.count - revoked;
+          if (!job.is_small) {
+            context_.large_running_reduces -= event.count - revoked;
+          }
         }
         if (killed > 0) {
           result_.failures.tasks_lost_to_nodes += killed;
@@ -675,9 +965,18 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
                  c < offsets[event.job_index + 1]; ++c) {
               const size_t child = index[c];
               --jobs_[child].unfinished_parents;
+              if (jobs_[child].unfinished_parents == 0 &&
+                  arrived_[child] != 0) {
+                TryAdmit(child, event.time);
+              }
               Refresh(child);
             }
           }
+          // Token release after the children admit: a same-tenant child
+          // may park here and be popped by this release, preserving the
+          // per-tenant FIFO order.
+          ReleaseAdmission(event.job_index, event.time);
+          AccountSla(job, /*killed=*/false);
           JobOutcome outcome;
           outcome.job_id = job.record->job_id;
           outcome.submit_time = job.submit_time;
@@ -685,6 +984,12 @@ StatusOr<ReplayResult> ReplayEngine::Run() {
           outcome.ideal_latency = job.IdealLatency();
           outcome.is_small = job.is_small;
           outcome.retries = job.retries;
+          outcome.deadline = job.deadline;
+          outcome.missed_sla =
+              job.deadline >= 0.0 && job.finish_time > job.deadline;
+          outcome.tenant = job.tenant_id;
+          outcome.preempted_tasks = job.preempted_tasks;
+          outcome.admission_delay = job.admission_wait;
           result_.outcomes.push_back(outcome);
         }
         Refresh(event.job_index);
@@ -764,10 +1069,15 @@ StatusOr<ReplayTemplate> ReplayTemplate::Build(const trace::Trace& trace,
   if (base.max_tasks_per_job < 1) {
     return InvalidArgumentError("max_tasks_per_job must be >= 1");
   }
+  Status sla_status = ValidateSlaOptions(base.sla);
+  if (!sla_status.ok()) return sla_status;
 
   ReplayTemplate tpl;
   tpl.max_tasks_per_job_ = base.max_tasks_per_job;
   tpl.small_job_bytes_ = base.small_job_bytes;
+  tpl.sla_small_multiplier_ = base.sla.small_multiplier;
+  tpl.sla_large_multiplier_ = base.sla.large_multiplier;
+  tpl.sla_tenants_ = base.sla.tenants;
   tpl.dependencies_ = base.dependencies;
 
   // Build the job skeletons (trace.jobs() is submit-sorted). This is the
@@ -789,6 +1099,17 @@ StatusOr<ReplayTemplate> ReplayTemplate::Build(const trace::Trace& trace,
           std::max(record.reduce_task_seconds /
                        static_cast<double>(job.reduces_total),
                    1e-3);
+    }
+    // SLA tier: the deadline is an ideal-latency multiple (per class),
+    // absolute from the submit time; the tenant is a stable hash of the
+    // job id so sweeps over cluster size keep tenant assignment fixed.
+    job.deadline = job.submit_time +
+                   job.IdealLatency() * (job.is_small
+                                             ? base.sla.small_multiplier
+                                             : base.sla.large_multiplier);
+    if (base.sla.tenants > 0) {
+      job.tenant_id = static_cast<int>(
+          record.job_id % static_cast<uint64_t>(base.sla.tenants));
     }
     tpl.jobs_.push_back(job);
   }
@@ -843,6 +1164,9 @@ StatusOr<ReplayTemplate> ReplayTemplate::Build(const trace::Trace& trace,
 bool ReplayTemplate::Compatible(const ReplayOptions& options) const {
   return options.max_tasks_per_job == max_tasks_per_job_ &&
          options.small_job_bytes == small_job_bytes_ &&
+         options.sla.small_multiplier == sla_small_multiplier_ &&
+         options.sla.large_multiplier == sla_large_multiplier_ &&
+         options.sla.tenants == sla_tenants_ &&
          SameDependencies(options.dependencies, dependencies_);
 }
 
@@ -851,7 +1175,7 @@ StatusOr<ReplayResult> ReplayTemplate::Replay(const ReplayOptions& options,
   if (!Compatible(options)) {
     return InvalidArgumentError(
         "replay options disagree with the template's captured "
-        "max_tasks_per_job / small_job_bytes / dependencies");
+        "max_tasks_per_job / small_job_bytes / dependencies / SLA shape");
   }
   return ReplayEngine(*this, options, arena).Run();
 }

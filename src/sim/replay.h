@@ -2,6 +2,7 @@
 #define SWIM_SIM_REPLAY_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,41 @@ struct FailureOptions {
   }
 };
 
+/// SLA tier (ROADMAP open item 3): deadlines, elephant preemption, and
+/// per-tenant admission control. All knobs default off/neutral; with the
+/// defaults the engine's event flow is unchanged.
+struct SlaOptions {
+  /// Per-class deadline multipliers: job deadline = submit time +
+  /// IdealLatency() x (small ? small_multiplier : large_multiplier).
+  /// Deadlines feed DeadlineScheduler and the SLA-miss accounting in
+  /// SlaStats; both multipliers are template-captured (they shape the job
+  /// skeletons), so sweeping them rebuilds per cell.
+  double small_multiplier = 4.0;
+  double large_multiplier = 12.0;
+  /// Elephant preemption: when an interactive (small) job is runnable and
+  /// no slot of the kind is free, the engine may revoke up to this many
+  /// running tasks per run from the largest (most remaining work) large
+  /// job and hand the slots to the interactive job. Revoked work re-joins
+  /// the unlaunched pool via the relaunch-debt machinery (counted in
+  /// FailureStats::retries at re-launch). 0 disables preemption.
+  /// Calendar-queue engine only; ReplayTraceLegacy rejects budgets > 0.
+  int64_t preemption_budget = 0;
+  /// Per-tenant admission control: tenants > 0 assigns each job to tenant
+  /// job_id % tenants and caps concurrently admitted (running or queued-
+  /// for-slots) jobs per tenant at tenant_max_running. Over-cap jobs park
+  /// in per-tenant FIFO queues and are admitted as earlier jobs of the
+  /// tenant finish. 0 disables admission control.
+  int tenants = 0;
+  int tenant_max_running = 8;
+
+  bool preemption_enabled() const { return preemption_budget > 0; }
+  bool admission_enabled() const { return tenants > 0; }
+};
+
 struct ReplayOptions {
   ClusterConfig cluster;
-  /// "fifo", "fair", or "two-tier".
+  /// "fifo", "fair", "two-tier", "srpt", or "deadline" (see
+  /// ValidSchedulerPolicies(); unknown names are a hard error).
   std::string scheduler = "fifo";
   /// Tasks per job are capped by merging (durations scale up) so that
   /// replaying month-long production traces stays tractable; occupancy in
@@ -89,6 +122,8 @@ struct ReplayOptions {
   FlatHashMap<uint64_t, std::vector<uint64_t>> dependencies;
   /// Task/node failure injection; see FailureOptions.
   FailureOptions failures;
+  /// SLA tier: deadlines, preemption, admission control; see SlaOptions.
+  SlaOptions sla;
 };
 
 /// Outcome of one replayed job.
@@ -102,9 +137,27 @@ struct JobOutcome {
   bool is_small = false;
   /// Task re-executions this job needed (0 without failure injection).
   int64_t retries = 0;
+  /// Absolute SLA deadline carried by the job (< 0 = none).
+  double deadline = -1.0;
+  /// Finished after its deadline (always false for deadline < 0).
+  bool missed_sla = false;
+  /// Owning tenant under admission control (0 when disabled).
+  int tenant = 0;
+  /// Running tasks revoked from this job by elephant preemption.
+  int64_t preempted_tasks = 0;
+  /// Seconds the job spent parked by per-tenant admission control.
+  double admission_delay = 0.0;
 
+  /// Stretch = latency / ideal latency. Convention for degenerate
+  /// zero-work jobs (ideal_latency == 0): any positive latency is pure
+  /// queueing delay with no lower bound to normalize by, so the stretch is
+  /// reported as +infinity rather than the old masking 1.0; a zero-work
+  /// job with zero latency is 1.0 (it was never delayed). Engine-produced
+  /// outcomes always carry ideal_latency >= the 1e-3 s duration floor, so
+  /// MeanSlowdown over replay output stays finite.
   double Slowdown() const {
-    return ideal_latency > 0.0 ? latency / ideal_latency : 1.0;
+    if (ideal_latency > 0.0) return latency / ideal_latency;
+    return latency > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
   }
 };
 
@@ -124,6 +177,54 @@ struct FailureStats {
   double failed_task_seconds = 0.0;
 };
 
+/// Per-tenant admission-control accounting (SlaStats::tenants; empty when
+/// admission control is disabled).
+struct TenantStats {
+  int tenant = 0;
+  /// Jobs of this tenant that finished (or were killed) after admission.
+  int64_t jobs = 0;
+  /// Jobs that had to park at least once waiting for a tenant token.
+  int64_t parked_jobs = 0;
+  /// Total seconds of admission queueing across the tenant's jobs.
+  double total_admission_delay = 0.0;
+  /// Largest single-job admission delay.
+  double max_admission_delay = 0.0;
+};
+
+/// SLA-tier accounting block on ReplayResult; all-zero / empty when the
+/// SLA knobs are at their defaults except deadlines, which are always
+/// assigned (multipliers default on) and scored against finish times.
+struct SlaStats {
+  /// Finished jobs that carried a deadline, per class.
+  int64_t small_jobs_with_deadline = 0;
+  int64_t large_jobs_with_deadline = 0;
+  /// Finished jobs whose finish_time exceeded their deadline, per class.
+  /// Jobs killed by failure injection count as misses (they carried a
+  /// deadline and will never meet it).
+  int64_t small_misses = 0;
+  int64_t large_misses = 0;
+  /// Elephant preemption: revocation rounds the engine ran, and running
+  /// tasks revoked in total (also distributed per job via
+  /// JobOutcome::preempted_tasks).
+  int64_t preemption_rounds = 0;
+  int64_t preempted_tasks = 0;
+  /// Admission control: jobs that parked at least once, and total parked
+  /// seconds across all jobs.
+  int64_t admission_parked_jobs = 0;
+  double total_admission_delay = 0.0;
+  /// Per-tenant breakdown, indexed 0..tenants-1 (empty when disabled).
+  std::vector<TenantStats> tenants;
+
+  double MissFraction(bool small_jobs) const {
+    int64_t total = small_jobs ? small_jobs_with_deadline
+                               : large_jobs_with_deadline;
+    int64_t missed = small_jobs ? small_misses : large_misses;
+    return total > 0 ? static_cast<double>(missed) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
 struct ReplayResult {
   std::string scheduler;
   std::vector<JobOutcome> outcomes;
@@ -132,6 +233,9 @@ struct ReplayResult {
   size_t unfinished_jobs = 0;
   /// Failure-injection accounting (all zero when injection is disabled).
   FailureStats failures;
+  /// SLA-tier accounting: per-class deadline misses, preemption and
+  /// admission counters; see SlaStats.
+  SlaStats sla;
   /// Average occupied slots (map + reduce) per hour of simulated time -
   /// the paper's Figure 7 fourth column ("utilization in average active
   /// slots").
@@ -161,9 +265,11 @@ struct ReplayResult {
 /// conversion from N passes into one.
 ///
 /// Build() captures the option fields the skeletons depend on
-/// (max_tasks_per_job, small_job_bytes, dependencies); Replay() rejects
-/// options that disagree with them — the sweep axes (scheduler, cluster
-/// size, seed, stragglers, failure model) are all per-run. The template
+/// (max_tasks_per_job, small_job_bytes, dependencies, and the SLA
+/// deadline shape: sla.small_multiplier / sla.large_multiplier /
+/// sla.tenants); Replay() rejects options that disagree with them — the
+/// sweep axes (scheduler, cluster size, seed, stragglers, failure model,
+/// sla.preemption_budget, sla.tenant_max_running) are all per-run. The template
 /// holds pointers into `trace`, which must outlive it. Thread-safe for
 /// concurrent Replay() calls: a run never writes template state.
 class ReplayTemplate {
@@ -183,7 +289,8 @@ class ReplayTemplate {
                                 Arena* arena = nullptr) const;
 
   /// True iff `options` agrees with the captured template-relevant
-  /// fields (max_tasks_per_job, small_job_bytes, dependencies).
+  /// fields (max_tasks_per_job, small_job_bytes, dependencies, SLA
+  /// deadline multipliers and tenant count).
   bool Compatible(const ReplayOptions& options) const;
 
   size_t job_count() const { return jobs_.size(); }
@@ -210,6 +317,9 @@ class ReplayTemplate {
   // Captured template-relevant options (Compatible()).
   int64_t max_tasks_per_job_ = 0;
   double small_job_bytes_ = 0.0;
+  double sla_small_multiplier_ = 0.0;
+  double sla_large_multiplier_ = 0.0;
+  int sla_tenants_ = 0;
   FlatHashMap<uint64_t, std::vector<uint64_t>> dependencies_;
 };
 

@@ -12,6 +12,7 @@
 // fail by design.
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <queue>
 
 #include "common/random.h"
@@ -103,6 +104,26 @@ Status ValidateFailureOptions(const FailureOptions& failures) {
   return Status::Ok();
 }
 
+Status ValidateSlaOptions(const SlaOptions& sla) {
+  if (!(sla.small_multiplier > 0.0) ||
+      !std::isfinite(sla.small_multiplier) ||
+      !(sla.large_multiplier > 0.0) ||
+      !std::isfinite(sla.large_multiplier)) {
+    return InvalidArgumentError("SLA multipliers must be finite and > 0");
+  }
+  if (sla.preemption_budget < 0) {
+    return InvalidArgumentError("preemption_budget must be >= 0");
+  }
+  if (sla.tenants < 0) {
+    return InvalidArgumentError("tenants must be >= 0");
+  }
+  if (sla.tenants > 0 && sla.tenant_max_running < 1) {
+    return InvalidArgumentError(
+        "tenant_max_running must be >= 1 when admission control is enabled");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
@@ -117,9 +138,20 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
   }
   Status failure_status = ValidateFailureOptions(options.failures);
   if (!failure_status.ok()) return failure_status;
+  Status sla_status = ValidateSlaOptions(options.sla);
+  if (!sla_status.ok()) return sla_status;
+  // Elephant preemption revokes running batches mid-flight; the frozen
+  // oracle has no revocation protocol, and the identity contract only
+  // covers non-preemptive runs.
+  if (options.sla.preemption_enabled()) {
+    return InvalidArgumentError(
+        "ReplayTraceLegacy does not support preemption_budget > 0");
+  }
   const FailureOptions& failures = options.failures;
 
-  std::unique_ptr<Scheduler> scheduler = MakeScheduler(options.scheduler);
+  auto scheduler_or = MakeScheduler(options.scheduler);
+  if (!scheduler_or.ok()) return scheduler_or.status();
+  std::unique_ptr<Scheduler> scheduler = std::move(scheduler_or).value();
   Pcg32 rng(options.seed, /*stream=*/0x51e9);
   // Dedicated streams for the failure model: enabling/disabling failure
   // injection must not perturb the straggler draws (and with the model
@@ -147,6 +179,16 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
           std::max(record.reduce_task_seconds /
                        static_cast<double>(job.reduces_total),
                    1e-3);
+    }
+    // SLA tier (mirrors ReplayTemplate::Build): per-class deadline and
+    // stable tenant assignment.
+    job.deadline = job.submit_time +
+                   job.IdealLatency() * (job.is_small
+                                             ? options.sla.small_multiplier
+                                             : options.sla.large_multiplier);
+    if (options.sla.tenants > 0) {
+      job.tenant_id = static_cast<int>(
+          record.job_id % static_cast<uint64_t>(options.sla.tenants));
     }
     jobs.push_back(job);
   }
@@ -196,6 +238,77 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
 
   ReplayResult result;
   result.scheduler = scheduler->name();
+
+  // --- Admission control (mirrors the calendar engine's token bucket) --
+  const bool admission = options.sla.admission_enabled();
+  std::vector<uint8_t> arrived(jobs.size(), 0);
+  std::vector<uint8_t> admitted;
+  std::vector<int64_t> tenant_running;
+  std::vector<std::deque<size_t>> adm_queue;
+  if (admission) {
+    admitted.assign(jobs.size(), 0);
+    tenant_running.assign(static_cast<size_t>(options.sla.tenants), 0);
+    adm_queue.resize(static_cast<size_t>(options.sla.tenants));
+    result.sla.tenants.resize(static_cast<size_t>(options.sla.tenants));
+    for (int t = 0; t < options.sla.tenants; ++t) {
+      result.sla.tenants[static_cast<size_t>(t)].tenant = t;
+    }
+  }
+  auto try_admit = [&](size_t i, double now) {
+    if (!admission || admitted[i]) return;
+    SimJob& job = jobs[i];
+    const int tenant = job.tenant_id;
+    if (tenant_running[static_cast<size_t>(tenant)] <
+        options.sla.tenant_max_running) {
+      admitted[i] = 1;
+      ++tenant_running[static_cast<size_t>(tenant)];
+      if (job.admission_parked) {
+        job.admission_parked = false;
+        job.admission_wait = now - job.admission_park_time;
+      }
+    } else {
+      job.admission_parked = true;
+      job.admission_park_time = now;
+      adm_queue[static_cast<size_t>(tenant)].push_back(i);
+    }
+  };
+  auto release_admission = [&](size_t i, double now) {
+    if (!admission || !admitted[i]) return;
+    admitted[i] = 0;
+    const int tenant = jobs[i].tenant_id;
+    --tenant_running[static_cast<size_t>(tenant)];
+    auto& waiting = adm_queue[static_cast<size_t>(tenant)];
+    if (!waiting.empty()) {
+      const size_t next = waiting.front();
+      waiting.pop_front();
+      try_admit(next, now);
+    }
+  };
+  auto account_sla = [&](const SimJob& job, bool killed) {
+    if (job.deadline >= 0.0) {
+      const bool missed = killed || job.finish_time > job.deadline;
+      if (job.is_small) {
+        ++result.sla.small_jobs_with_deadline;
+        if (missed) ++result.sla.small_misses;
+      } else {
+        ++result.sla.large_jobs_with_deadline;
+        if (missed) ++result.sla.large_misses;
+      }
+    }
+    if (admission) {
+      TenantStats& tenant =
+          result.sla.tenants[static_cast<size_t>(job.tenant_id)];
+      ++tenant.jobs;
+      if (job.admission_park_time >= 0.0) {
+        ++tenant.parked_jobs;
+        ++result.sla.admission_parked_jobs;
+        tenant.total_admission_delay += job.admission_wait;
+        result.sla.total_admission_delay += job.admission_wait;
+        tenant.max_admission_delay =
+            std::max(tenant.max_admission_delay, job.admission_wait);
+      }
+    }
+  };
 
   double first_submit = jobs.front().submit_time;
   const double loss_rate_per_second = failures.node_loss_per_hour / 3600.0;
@@ -303,6 +416,10 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
       ++result.failures.failed_jobs;
       auto it = std::find(active.begin(), active.end(), job_index);
       if (it != active.end()) active.erase(it);
+      // A killed job will never meet its deadline (scored as an SLA miss)
+      // and returns its tenant token immediately.
+      account_sla(job, /*killed=*/true);
+      release_admission(job_index, now);
       return;
     }
     int next_attempt = attempt + 1;
@@ -332,9 +449,11 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
     runnable.clear();
     for (size_t index : active) {
       // Jobs waiting out a retry backoff receive no grants; a kWake event
-      // at retry_ready_time re-runs this loop.
+      // at retry_ready_time re-runs this loop. Jobs parked by admission
+      // control wait for a tenant token.
       if (jobs[index].HasRunnable(kind) &&
-          jobs[index].retry_ready_time <= now) {
+          jobs[index].retry_ready_time <= now &&
+          !jobs[index].admission_parked) {
         runnable.push_back(index);
       }
     }
@@ -382,6 +501,12 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
     switch (event.kind) {
       case Event::Kind::kArrival:
         active.push_back(event.job_index);
+        arrived[event.job_index] = 1;
+        // Admission gates only eligible jobs (arrived AND parent-free);
+        // parent-blocked jobs admit from the parent-finish path.
+        if (job.unfinished_parents == 0) {
+          try_admit(event.job_index, event.time);
+        }
         break;
       case Event::Kind::kWake:
         break;  // only here to re-enter the grant loop after a backoff
@@ -483,7 +608,15 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
               std::find(active.begin(), active.end(), event.job_index));
           for (size_t child : children[event.job_index]) {
             --jobs[child].unfinished_parents;
+            if (jobs[child].unfinished_parents == 0 && arrived[child] != 0) {
+              try_admit(child, event.time);
+            }
           }
+          // Token release after the children admit: a same-tenant child
+          // may park here and be popped by this release, preserving the
+          // per-tenant FIFO order (mirrors the calendar engine).
+          release_admission(event.job_index, event.time);
+          account_sla(job, /*killed=*/false);
           JobOutcome outcome;
           outcome.job_id = job.record->job_id;
           outcome.submit_time = job.submit_time;
@@ -491,6 +624,12 @@ StatusOr<ReplayResult> ReplayTraceLegacy(const trace::Trace& trace,
           outcome.ideal_latency = job.IdealLatency();
           outcome.is_small = job.is_small;
           outcome.retries = job.retries;
+          outcome.deadline = job.deadline;
+          outcome.missed_sla =
+              job.deadline >= 0.0 && job.finish_time > job.deadline;
+          outcome.tenant = job.tenant_id;
+          outcome.preempted_tasks = job.preempted_tasks;
+          outcome.admission_delay = job.admission_wait;
           result.outcomes.push_back(outcome);
         }
         break;

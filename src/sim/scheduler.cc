@@ -80,6 +80,10 @@ int TwoTierScheduler::PickJob(Span<SimJob> jobs, Span<size_t> runnable,
   if (best_small >= 0) return best_small;
   int64_t large_cap = static_cast<int64_t>(
       large_share_ * static_cast<double>(total_slots_of_kind));
+  // Tiny pools truncate the cap to 0 (1 slot x 0.7 share); with no small
+  // job wanting the pool the capacity tier must still get >= 1 slot or
+  // large jobs starve forever on 1-slot clusters.
+  if (large_cap < 1) large_cap = 1;
   if (best_large >= 0 && large_running < large_cap) return best_large;
   return -1;
 }
@@ -90,16 +94,98 @@ int64_t TwoTierScheduler::BatchLimit(Span<SimJob> jobs, int picked,
   if (jobs[picked].is_small) return std::numeric_limits<int64_t>::max();
   int64_t cap = static_cast<int64_t>(
       large_share_ * static_cast<double>(total_slots_of_kind));
+  // Matches the PickJob clamp: a picked large job is always allowed at
+  // least one slot, or the grant would truncate to a 0-task batch and the
+  // pool would idle with runnable work (the 1-slot-cluster starvation bug).
+  if (cap < 1) cap = 1;
   return std::max<int64_t>(0, cap - context.LargeRunning(kind));
 }
 
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& policy) {
-  std::string normalized = ToLower(policy);
-  if (normalized == "fair") return std::make_unique<FairScheduler>();
-  if (normalized == "two-tier" || normalized == "twotier") {
-    return std::make_unique<TwoTierScheduler>();
+int SrptScheduler::PickJob(Span<SimJob> jobs, Span<size_t> runnable,
+                           TaskKind /*kind*/, int /*total_slots_of_kind*/,
+                           const SchedulerContext& /*context*/) {
+  int best = -1;
+  double least_work = std::numeric_limits<double>::max();
+  double earliest = std::numeric_limits<double>::max();
+  for (size_t index : runnable) {
+    double work = jobs[index].RemainingWork();
+    if (work < least_work ||
+        (work == least_work && BeatsOnSubmit(jobs, index, best, earliest))) {
+      least_work = work;
+      earliest = jobs[index].submit_time;
+      best = static_cast<int>(index);
+    }
   }
-  return std::make_unique<FifoScheduler>();
+  return best;
+}
+
+int DeadlineScheduler::PickJob(Span<SimJob> jobs, Span<size_t> runnable,
+                               TaskKind /*kind*/,
+                               int /*total_slots_of_kind*/,
+                               const SchedulerContext& context) {
+  // Two ranked pools scanned in one pass: overdue jobs (deadline already
+  // passed at context.now) ordered by least remaining work, then on-time
+  // jobs ordered by earliest deadline (no deadline ranks as +inf). Both
+  // orderings are pure functions of the runnable set, so list order never
+  // leaks into the pick.
+  int best_overdue = -1;
+  double overdue_work = std::numeric_limits<double>::max();
+  double overdue_submit = std::numeric_limits<double>::max();
+  int best_ontime = -1;
+  double ontime_deadline = std::numeric_limits<double>::max();
+  double ontime_submit = std::numeric_limits<double>::max();
+  for (size_t index : runnable) {
+    const SimJob& job = jobs[index];
+    const bool has_deadline = job.deadline >= 0.0;
+    if (has_deadline && job.deadline < context.now) {
+      double work = job.RemainingWork();
+      if (work < overdue_work ||
+          (work == overdue_work &&
+           BeatsOnSubmit(jobs, index, best_overdue, overdue_submit))) {
+        overdue_work = work;
+        overdue_submit = job.submit_time;
+        best_overdue = static_cast<int>(index);
+      }
+    } else {
+      double deadline = has_deadline ? job.deadline
+                                     : std::numeric_limits<double>::max();
+      if (deadline < ontime_deadline ||
+          (deadline == ontime_deadline &&
+           BeatsOnSubmit(jobs, index, best_ontime, ontime_submit))) {
+        ontime_deadline = deadline;
+        ontime_submit = job.submit_time;
+        best_ontime = static_cast<int>(index);
+      }
+    }
+  }
+  return best_overdue >= 0 ? best_overdue : best_ontime;
+}
+
+const char* ValidSchedulerPolicies() {
+  return "fifo, fair, two-tier, srpt, deadline";
+}
+
+StatusOr<std::unique_ptr<Scheduler>> MakeScheduler(
+    const std::string& policy) {
+  std::string normalized = ToLower(policy);
+  if (normalized == "fifo") {
+    return std::unique_ptr<Scheduler>(std::make_unique<FifoScheduler>());
+  }
+  if (normalized == "fair") {
+    return std::unique_ptr<Scheduler>(std::make_unique<FairScheduler>());
+  }
+  if (normalized == "two-tier" || normalized == "twotier") {
+    return std::unique_ptr<Scheduler>(std::make_unique<TwoTierScheduler>());
+  }
+  if (normalized == "srpt") {
+    return std::unique_ptr<Scheduler>(std::make_unique<SrptScheduler>());
+  }
+  if (normalized == "deadline") {
+    return std::unique_ptr<Scheduler>(std::make_unique<DeadlineScheduler>());
+  }
+  return InvalidArgumentError("unknown scheduling policy \"" + policy +
+                              "\"; valid policies: " +
+                              ValidSchedulerPolicies());
 }
 
 }  // namespace swim::sim

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/span.h"
+#include "common/statusor.h"
 #include "sim/sim_job.h"
 
 namespace swim::sim {
@@ -84,8 +85,10 @@ class FairScheduler : public Scheduler {
 
 /// The paper's section 6.2 proposal: split the cluster into a performance
 /// tier for small (interactive) jobs and a capacity tier for large ones.
-/// Large jobs may hold at most `large_share` of each slot pool; small jobs
-/// are never blocked by large ones.
+/// Large jobs may hold at most `large_share` of each slot pool (the cap is
+/// clamped to >= 1 slot when only large jobs are runnable, so a 1-slot
+/// pool cannot starve them forever); small jobs are never blocked by
+/// large ones.
 class TwoTierScheduler : public Scheduler {
  public:
   explicit TwoTierScheduler(double large_share = 0.7)
@@ -102,8 +105,49 @@ class TwoTierScheduler : public Scheduler {
   double large_share_;
 };
 
-/// Factory by policy name ("fifo", "fair", "two-tier").
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& policy);
+/// Shortest Remaining Processing Time: grant the slot to the runnable job
+/// with the least unfinished task-seconds (SimJob::RemainingWork), ties
+/// pinned to (earliest submit, lowest index). Size-based priority is the
+/// classic latency protection for the paper's >90% small-job mass: a
+/// freshly submitted interactive job out-ranks every half-done elephant
+/// without needing tier thresholds. Non-preemptive on its own; pairs with
+/// the engine's elephant preemption (ReplayOptions::sla.preemption_budget)
+/// for full SRPT semantics.
+class SrptScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "SRPT"; }
+  int PickJob(Span<SimJob> jobs, Span<size_t> runnable, TaskKind kind,
+              int total_slots_of_kind,
+              const SchedulerContext& context) override;
+};
+
+/// Earliest Deadline First over SimJob::deadline (submit + ideal latency x
+/// per-class SLA multiplier, populated by ReplayTemplate::Build), with
+/// overdue-job escalation: jobs already past their deadline at
+/// `context.now` rank ahead of every on-time job and are ordered among
+/// themselves by least remaining work — the overdue backlog drains in the
+/// order that un-blocks the most jobs soonest, instead of EDF's "most
+/// overdue first" which would finish the most-hopeless job first. Jobs
+/// without a deadline (< 0) rank last. Ties pin to (earliest submit,
+/// lowest index) like every policy.
+class DeadlineScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Deadline"; }
+  int PickJob(Span<SimJob> jobs, Span<size_t> runnable, TaskKind kind,
+              int total_slots_of_kind,
+              const SchedulerContext& context) override;
+};
+
+/// Comma-separated list of the policy names MakeScheduler accepts, for
+/// error messages and usage strings.
+const char* ValidSchedulerPolicies();
+
+/// Factory by policy name ("fifo", "fair", "two-tier", "srpt",
+/// "deadline"; case-insensitive). Unknown names are a hard
+/// InvalidArgumentError listing the valid policies — never a silent
+/// fallback (a typo'd --sweep-policies=fare must not replay a 10k-cell
+/// grid as FIFO).
+StatusOr<std::unique_ptr<Scheduler>> MakeScheduler(const std::string& policy);
 
 }  // namespace swim::sim
 

@@ -33,6 +33,34 @@ struct SimJob {
   /// interactive tier.
   bool is_small = false;
 
+  // --- SLA tier (see ReplayOptions::sla) --------------------------------
+
+  /// Absolute completion deadline: submit_time + IdealLatency() x the
+  /// per-class SLA multiplier. Populated by ReplayTemplate::Build (and the
+  /// legacy engine's job-build loop); < 0 means "no deadline". Consumed by
+  /// DeadlineScheduler and by the SLA-miss accounting in JobOutcome.
+  double deadline = -1.0;
+  /// Owning tenant for admission control: job_id % ReplayOptions::sla
+  /// .tenants (0 when admission is disabled). Populated alongside
+  /// `deadline`.
+  int tenant_id = 0;
+  /// Tasks revoked from this job by elephant preemption (reported in
+  /// JobOutcome::preempted_tasks).
+  int64_t preempted_tasks = 0;
+  /// Revoked tasks whose in-flight completion/failure events have not
+  /// fired yet: the event's count covering them is swallowed instead of
+  /// finishing or re-failing tasks that were already returned to the
+  /// unlaunched pool (mirrors kill_pending_* for node losses).
+  int64_t preempt_pending_maps = 0;
+  int64_t preempt_pending_reduces = 0;
+  /// Admission control: set while the job is parked waiting for a tenant
+  /// token; parked jobs are never runnable.
+  bool admission_parked = false;
+  /// When the current (or last) admission park began; < 0 = never parked.
+  double admission_park_time = -1.0;
+  /// Total seconds spent parked by admission control.
+  double admission_wait = 0.0;
+
   /// Workflow support: number of prerequisite jobs (earlier stages of the
   /// same Hive query / Oozie workflow) that have not finished yet. A job
   /// with pending parents is held even after its submit time.
@@ -91,6 +119,17 @@ struct SimJob {
   /// followed by one wave of reduces.
   double IdealLatency() const {
     return map_task_duration + reduce_task_duration;
+  }
+
+  /// Task-seconds not yet finished (running tasks count as unfinished:
+  /// they still hold slots, and under preemption may never finish). The
+  /// SRPT priority key, and the elephant-size key for preemption victim
+  /// selection.
+  double RemainingWork() const {
+    return static_cast<double>(maps_total - maps_finished) *
+               map_task_duration +
+           static_cast<double>(reduces_total - reduces_finished) *
+               reduce_task_duration;
   }
 };
 

@@ -56,11 +56,18 @@ struct SweepOptions {
 /// require bit-identical results.
 ///
 /// A configuration with a null trace (or one ReplayTrace rejects) yields
-/// an error StatusOr in its slot; other runs are unaffected. Cells whose
+/// an error StatusOr in its slot — including cells naming an unknown
+/// scheduler policy, which fail with MakeScheduler's hard error instead
+/// of silently replaying as FIFO; other runs are unaffected. Cells whose
 /// options disagree with the shared template's captured fields
-/// (max_tasks_per_job, small_job_bytes, dependencies differ from the
-/// first cell on that trace) transparently fall back to a private
-/// per-cell build — same results, just without the sharing.
+/// (max_tasks_per_job, small_job_bytes, dependencies, or the SLA deadline
+/// shape — sla.small_multiplier / sla.large_multiplier / sla.tenants —
+/// differ from the first cell on that trace) transparently fall back to a
+/// private per-cell build — same results, just without the sharing. The
+/// remaining SLA knobs (preemption_budget, tenant_max_running) and the
+/// scheduler policy are ordinary per-run axes and sweep freely; the
+/// determinism contract above covers preemptive and admission-gated
+/// cells too.
 std::vector<StatusOr<ReplayResult>> RunSweep(
     const std::vector<SweepConfig>& configs,
     const SweepOptions& sweep_options);

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <string>
@@ -137,6 +138,23 @@ TEST(ReplayTest, TaskCapPreservesTaskSeconds) {
   EXPECT_NEAR(result->outcomes[0].latency, 2500.0, 0.1);
 }
 
+// Satellite regression: a zero ideal latency with nonzero observed latency
+// used to report slowdown 0 (better-than-ideal), dragging MeanSlowdown
+// *down* for the degenerate jobs it should flag. The convention is now
+// +infinity for pure queueing on zero ideal work; only a genuinely free
+// job (both zero) is slowdown 1.
+TEST(ReplayTest, SlowdownConventionOnZeroIdeal) {
+  JobOutcome outcome;
+  outcome.ideal_latency = 40.0;
+  outcome.latency = 80.0;
+  EXPECT_DOUBLE_EQ(outcome.Slowdown(), 2.0);
+  outcome.ideal_latency = 0.0;
+  EXPECT_TRUE(std::isinf(outcome.Slowdown()));
+  EXPECT_GT(outcome.Slowdown(), 0.0);
+  outcome.latency = 0.0;
+  EXPECT_DOUBLE_EQ(outcome.Slowdown(), 1.0);
+}
+
 // --- Scheduler comparisons --------------------------------------------------------
 
 /// One huge job submitted just before many small jobs: the paper's
@@ -175,11 +193,72 @@ TEST(SchedulerTest, TwoTierProtectsSmallJobs) {
   EXPECT_EQ(tiered->CountJobs(false), 1u);
 }
 
+TEST(SchedulerTest, SrptLetsSmallJobsJumpTheQueue) {
+  // SRPT needs no tier threshold: the small jobs' remaining work out-ranks
+  // the elephant's the moment a slot frees, so they drain ahead of its
+  // remaining waves.
+  auto fifo = ReplayTrace(HeadOfLineTrace(), SmallCluster("fifo"));
+  auto srpt = ReplayTrace(HeadOfLineTrace(), SmallCluster("srpt"));
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(srpt.ok());
+  EXPECT_LT(srpt->LatencyQuantile(true, 0.5),
+            fifo->LatencyQuantile(true, 0.5) / 10);
+  // The elephant still completes.
+  EXPECT_EQ(srpt->CountJobs(false), 1u);
+  EXPECT_EQ(srpt->unfinished_jobs, 0u);
+}
+
+// Satellite regression: on a 1-slot pool the capacity tier's cap
+// (share x slots = 0.7 truncated to 0) starved large jobs forever. The
+// clamp guarantees the tier >= 1 slot, so the trace drains.
+TEST(SchedulerTest, TwoTierDrainsLargeJobsOnOneSlotCluster) {
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0.0, 4, 400.0, 2, 100.0, 1e13));  // large job
+  for (int i = 0; i < 3; ++i) {
+    t.AddJob(SimpleJob(2 + i, 5.0 + i, 1, 10.0, 0, 0.0, 1e6));
+  }
+  ReplayOptions options;
+  options.cluster.nodes = 1;
+  options.cluster.map_slots_per_node = 1;
+  options.cluster.reduce_slots_per_node = 1;
+  options.scheduler = "two-tier";
+  auto current = ReplayTrace(t, options);
+  auto legacy = ReplayTraceLegacy(t, options);
+  ASSERT_TRUE(current.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(current->outcomes.size(), 4u);
+  EXPECT_EQ(current->unfinished_jobs, 0u);
+  EXPECT_EQ(legacy->outcomes.size(), 4u);
+  EXPECT_EQ(legacy->unfinished_jobs, 0u);
+  EXPECT_EQ(current->makespan, legacy->makespan);
+}
+
 TEST(SchedulerTest, FactoryNames) {
-  EXPECT_EQ(MakeScheduler("fifo")->name(), "FIFO");
-  EXPECT_EQ(MakeScheduler("FAIR")->name(), "Fair");
-  EXPECT_EQ(MakeScheduler("two-tier")->name(), "TwoTier");
-  EXPECT_EQ(MakeScheduler("unknown")->name(), "FIFO");  // default
+  EXPECT_EQ(MakeScheduler("fifo").value()->name(), "FIFO");
+  EXPECT_EQ(MakeScheduler("FAIR").value()->name(), "Fair");
+  EXPECT_EQ(MakeScheduler("two-tier").value()->name(), "TwoTier");
+  EXPECT_EQ(MakeScheduler("srpt").value()->name(), "SRPT");
+  EXPECT_EQ(MakeScheduler("DeadLine").value()->name(), "Deadline");
+}
+
+// Satellite regression: unknown policy names were silently mapped to
+// FIFO, so a typo'd sweep replayed every cell with the wrong policy.
+// They must now be a hard error that names the valid policies.
+TEST(SchedulerTest, FactoryRejectsUnknownPolicies) {
+  for (const char* policy : {"unknown", "fare", "", "fifo2"}) {
+    auto scheduler = MakeScheduler(policy);
+    ASSERT_FALSE(scheduler.ok()) << policy;
+    EXPECT_NE(scheduler.status().message().find("fifo, fair, two-tier"),
+              std::string::npos)
+        << scheduler.status().message();
+  }
+  // The engines surface the same error instead of replaying as FIFO.
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0.0, 2, 10));
+  ReplayOptions options = SmallCluster();
+  options.scheduler = "fare";
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  EXPECT_FALSE(ReplayTraceLegacy(t, options).ok());
 }
 
 // --- Stragglers ---------------------------------------------------------------------
@@ -487,8 +566,8 @@ TEST(SchedulerTieBreakTest, EqualJobsResolveBySubmitThenIndex) {
   SchedulerContext context;
   const std::vector<std::vector<size_t>> permutations = {
       {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
-  for (const char* policy : {"fifo", "fair", "two-tier"}) {
-    auto scheduler = MakeScheduler(policy);
+  for (const char* policy : {"fifo", "fair", "two-tier", "srpt", "deadline"}) {
+    auto scheduler = MakeScheduler(policy).value();
     for (const auto& runnable : permutations) {
       // Jobs 2 and 3 share submit 50 (earliest): index 2 must win.
       EXPECT_EQ(scheduler->PickJob(jobs, runnable, TaskKind::kMap, 8,
@@ -522,6 +601,72 @@ TEST(SchedulerTieBreakTest, FairTieOnSlotCountsPinsToSubmitThenIndex) {
   for (const std::vector<size_t>& runnable :
        {std::vector<size_t>{0, 1, 2}, std::vector<size_t>{2, 1, 0}}) {
     EXPECT_EQ(fair.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 1);
+  }
+}
+
+TEST(SchedulerTieBreakTest, SrptPicksLeastRemainingWorkUnderPermutation) {
+  std::vector<SimJob> jobs(4);
+  std::vector<trace::JobRecord> records(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    records[i] = SimpleJob(i + 1, 10.0 * static_cast<double>(i), 4, 40);
+    jobs[i].record = &records[i];
+    jobs[i].submit_time = records[i].submit_time;
+    jobs[i].maps_total = 4;
+    // Remaining work 400, 320, 240, 160: the latest submit has the least.
+    jobs[i].map_task_duration = 100.0 - 20.0 * static_cast<double>(i);
+  }
+  SrptScheduler srpt;
+  SchedulerContext context;
+  const std::vector<std::vector<size_t>> permutations = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+  for (const auto& runnable : permutations) {
+    // FIFO would pick 0; SRPT must pick 3 regardless of list order.
+    EXPECT_EQ(srpt.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 3);
+  }
+  // Finishing most of job 0's wave shrinks its key below everyone's: the
+  // priority is *remaining* work, not total size.
+  jobs[0].maps_finished = 3;  // remaining 1 x 100 = 100 < job 3's 160
+  for (const auto& runnable : permutations) {
+    EXPECT_EQ(srpt.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 0);
+  }
+}
+
+TEST(SchedulerTieBreakTest, DeadlineRanksEdfAndEscalatesOverdue) {
+  std::vector<SimJob> jobs(4);
+  std::vector<trace::JobRecord> records(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    records[i] = SimpleJob(i + 1, 0.0, 4, 40);
+    jobs[i].record = &records[i];
+    jobs[i].submit_time = 0.0;
+    jobs[i].maps_total = 4;
+    jobs[i].map_task_duration = 10.0;
+  }
+  jobs[0].deadline = -1.0;  // no deadline: ranks last
+  jobs[1].deadline = 500.0;
+  jobs[2].deadline = 300.0;
+  jobs[3].deadline = 400.0;
+  jobs[2].map_task_duration = 50.0;  // most remaining work
+  DeadlineScheduler edf;
+  SchedulerContext context;
+  const std::vector<std::vector<size_t>> permutations = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+  // Nothing overdue yet: earliest deadline (job 2) wins.
+  context.now = 100.0;
+  for (const auto& runnable : permutations) {
+    EXPECT_EQ(edf.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 2);
+  }
+  // Jobs 2 and 3 are now overdue. Escalation ranks the overdue pool by
+  // least remaining work - job 3 (40s) beats job 2 (200s) even though
+  // job 2's deadline is earlier - and outranks the on-time job 1.
+  context.now = 450.0;
+  for (const auto& runnable : permutations) {
+    EXPECT_EQ(edf.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 3);
+  }
+  // With every deadline passed, the no-deadline job still ranks last.
+  context.now = 600.0;
+  for (const std::vector<size_t>& runnable :
+       {std::vector<size_t>{0, 1}, std::vector<size_t>{1, 0}}) {
+    EXPECT_EQ(edf.PickJob(jobs, runnable, TaskKind::kMap, 8, context), 1);
   }
 }
 
@@ -571,6 +716,16 @@ void ExpectBitIdentical(const ReplayResult& a, const ReplayResult& b,
         << what << " outcome " << i;
     ASSERT_EQ(a.outcomes[i].is_small, b.outcomes[i].is_small)
         << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].deadline, b.outcomes[i].deadline)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].missed_sla, b.outcomes[i].missed_sla)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].tenant, b.outcomes[i].tenant)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].preempted_tasks, b.outcomes[i].preempted_tasks)
+        << what << " outcome " << i;
+    ASSERT_EQ(a.outcomes[i].admission_delay, b.outcomes[i].admission_delay)
+        << what << " outcome " << i;
   }
   EXPECT_EQ(a.scheduler, b.scheduler) << what;
   EXPECT_EQ(a.makespan, b.makespan) << what;
@@ -585,11 +740,34 @@ void ExpectBitIdentical(const ReplayResult& a, const ReplayResult& b,
   EXPECT_EQ(a.failures.failed_jobs, b.failures.failed_jobs) << what;
   EXPECT_EQ(a.failures.failed_task_seconds, b.failures.failed_task_seconds)
       << what;
+  EXPECT_EQ(a.sla.small_jobs_with_deadline, b.sla.small_jobs_with_deadline)
+      << what;
+  EXPECT_EQ(a.sla.large_jobs_with_deadline, b.sla.large_jobs_with_deadline)
+      << what;
+  EXPECT_EQ(a.sla.small_misses, b.sla.small_misses) << what;
+  EXPECT_EQ(a.sla.large_misses, b.sla.large_misses) << what;
+  EXPECT_EQ(a.sla.preemption_rounds, b.sla.preemption_rounds) << what;
+  EXPECT_EQ(a.sla.preempted_tasks, b.sla.preempted_tasks) << what;
+  EXPECT_EQ(a.sla.admission_parked_jobs, b.sla.admission_parked_jobs) << what;
+  EXPECT_EQ(a.sla.total_admission_delay, b.sla.total_admission_delay) << what;
+  ASSERT_EQ(a.sla.tenants.size(), b.sla.tenants.size()) << what;
+  for (size_t i = 0; i < a.sla.tenants.size(); ++i) {
+    EXPECT_EQ(a.sla.tenants[i].tenant, b.sla.tenants[i].tenant) << what;
+    EXPECT_EQ(a.sla.tenants[i].jobs, b.sla.tenants[i].jobs) << what;
+    EXPECT_EQ(a.sla.tenants[i].parked_jobs, b.sla.tenants[i].parked_jobs)
+        << what;
+    EXPECT_EQ(a.sla.tenants[i].total_admission_delay,
+              b.sla.tenants[i].total_admission_delay)
+        << what;
+    EXPECT_EQ(a.sla.tenants[i].max_admission_delay,
+              b.sla.tenants[i].max_admission_delay)
+        << what;
+  }
 }
 
 TEST(EngineBaselineTest, BitIdenticalToLegacyAcrossPoliciesPlain) {
   trace::Trace t = Fb2010Style(600, 2010);
-  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+  for (const char* policy : {"fifo", "fair", "two-tier", "srpt", "deadline"}) {
     ReplayOptions options;
     options.cluster.nodes = 30;
     options.scheduler = policy;
@@ -603,7 +781,7 @@ TEST(EngineBaselineTest, BitIdenticalToLegacyAcrossPoliciesPlain) {
 
 TEST(EngineBaselineTest, BitIdenticalToLegacyWithStragglersAndFailures) {
   trace::Trace t = Fb2010Style(400, 417);
-  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+  for (const char* policy : {"fifo", "fair", "two-tier", "srpt", "deadline"}) {
     ReplayOptions options;
     options.cluster.nodes = 20;
     options.scheduler = policy;
@@ -646,7 +824,7 @@ TEST(EngineBaselineTest, BitIdenticalOnSaturatedTinyCluster) {
   options.cluster.nodes = 1;
   options.cluster.map_slots_per_node = 3;
   options.cluster.reduce_slots_per_node = 2;
-  for (const char* policy : {"fifo", "fair", "two-tier"}) {
+  for (const char* policy : {"fifo", "fair", "two-tier", "srpt", "deadline"}) {
     options.scheduler = policy;
     auto current = ReplayTrace(t, options);
     auto legacy = ReplayTraceLegacy(t, options);
@@ -654,6 +832,245 @@ TEST(EngineBaselineTest, BitIdenticalOnSaturatedTinyCluster) {
     ASSERT_TRUE(legacy.ok());
     ExpectBitIdentical(*current, *legacy, policy);
   }
+}
+
+TEST(EngineBaselineTest, BitIdenticalToLegacyWithAdmissionControl) {
+  // Admission (parked jobs, tenant tokens, SLA accounting) is implemented
+  // separately in both engines; the oracle contract must hold with it on,
+  // including under failure injection.
+  trace::Trace t = Fb2010Style(300, 53);
+  ReplayOptions options;
+  options.cluster.nodes = 10;
+  options.sla.tenants = 4;
+  options.sla.tenant_max_running = 2;
+  options.failures.task_failure_probability = 0.05;
+  options.failures.node_loss_per_hour = 1.0;
+  for (const char* policy : {"fifo", "srpt", "deadline"}) {
+    options.scheduler = policy;
+    auto current = ReplayTrace(t, options);
+    auto legacy = ReplayTraceLegacy(t, options);
+    ASSERT_TRUE(current.ok());
+    ASSERT_TRUE(legacy.ok());
+    ExpectBitIdentical(*current, *legacy, std::string(policy) + "+admission");
+  }
+}
+
+// --- SLA tier: deadlines, preemption, admission control --------------------
+
+TEST(SlaTest, RejectsBadSlaOptions) {
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0.0, 1, 10));
+  ReplayOptions options;
+  options.sla.small_multiplier = 0.0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  EXPECT_FALSE(ReplayTraceLegacy(t, options).ok());
+  options = {};
+  options.sla.large_multiplier = -3.0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.sla.preemption_budget = -1;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.sla.tenants = -2;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+  options = {};
+  options.sla.tenants = 2;
+  options.sla.tenant_max_running = 0;
+  EXPECT_FALSE(ReplayTrace(t, options).ok());
+}
+
+TEST(SlaTest, LegacyEngineRejectsPreemption) {
+  // The frozen oracle predates preemption and must refuse rather than
+  // silently diverge from the calendar engine.
+  trace::Trace t;
+  t.AddJob(SimpleJob(1, 0.0, 1, 10));
+  ReplayOptions options = SmallCluster("fifo");
+  options.sla.preemption_budget = 5;
+  EXPECT_FALSE(ReplayTraceLegacy(t, options).ok());
+  EXPECT_TRUE(ReplayTrace(t, options).ok());
+}
+
+TEST(SlaTest, DeadlinesPopulatedAndMissesCounted) {
+  // Every job gets deadline = submit + ideal x multiplier; under FIFO the
+  // head-of-line elephant makes the small jobs blow theirs. The small
+  // multiplier is widened to ~2 elephant waves so EDF - which cannot
+  // preempt the first wave on a 2-slot cluster - can still meet it.
+  ReplayOptions options = SmallCluster("fifo");
+  options.sla.small_multiplier = 100.0;
+  auto fifo = ReplayTrace(HeadOfLineTrace(), options);
+  options.scheduler = "deadline";
+  auto edf = ReplayTrace(HeadOfLineTrace(), options);
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(edf.ok());
+  EXPECT_EQ(fifo->sla.small_jobs_with_deadline, 20);
+  EXPECT_EQ(fifo->sla.large_jobs_with_deadline, 1);
+  for (const auto& outcome : fifo->outcomes) {
+    EXPECT_GE(outcome.deadline, 0.0);
+    EXPECT_EQ(outcome.missed_sla,
+              outcome.submit_time + outcome.latency > outcome.deadline);
+  }
+  EXPECT_GT(fifo->sla.small_misses, 0);
+  EXPECT_GT(fifo->sla.MissFraction(true), 0.5);
+  // Deadline scheduling rescues the small-job mass.
+  EXPECT_LT(edf->sla.small_misses, fifo->sla.small_misses);
+}
+
+TEST(SlaTest, KilledJobsCountAsSlaMisses) {
+  // A job that exhausts its attempts never finishes - that is the worst
+  // possible SLA outcome and must be a miss, not a hole in the count.
+  trace::Trace t = FailureFleet();
+  ReplayOptions options = SmallCluster("fifo");
+  options.failures.task_failure_probability = 1.0;
+  options.failures.max_attempts = 2;
+  options.failures.retry_backoff_seconds = 0.0;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->failures.failed_jobs, 40);
+  EXPECT_EQ(result->sla.small_jobs_with_deadline, 40);
+  EXPECT_EQ(result->sla.small_misses, 40);
+  EXPECT_DOUBLE_EQ(result->sla.MissFraction(true), 1.0);
+}
+
+TEST(SlaTest, PreemptionRescuesInteractiveJobsUnderElephant) {
+  trace::Trace t = HeadOfLineTrace();
+  ReplayOptions plain = SmallCluster("fifo");
+  ReplayOptions preempt = plain;
+  preempt.sla.preemption_budget = 200;
+  auto a = ReplayTrace(t, plain);
+  auto b = ReplayTrace(t, preempt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Revoked elephant tasks hand their slots to the small jobs. (Rescue is
+  // wave-quantized: revocation pauses while phantom completion events of
+  // already-revoked tasks are in flight, so small jobs wait at most ~one
+  // elephant task duration instead of the full 20-wave backlog.)
+  EXPECT_GT(b->sla.preempted_tasks, 0);
+  EXPECT_GT(b->sla.preemption_rounds, 0);
+  EXPECT_LT(b->LatencyQuantile(true, 0.9), a->LatencyQuantile(true, 0.9) / 4);
+  // ...and the revoked work is re-enqueued: the elephant still completes.
+  EXPECT_EQ(b->CountJobs(false), 1u);
+  EXPECT_EQ(b->unfinished_jobs, 0u);
+  // Per-job preemption counts roll up to the aggregate.
+  int64_t preempted = 0;
+  for (const auto& outcome : b->outcomes) preempted += outcome.preempted_tasks;
+  EXPECT_EQ(preempted, b->sla.preempted_tasks);
+  // Preemptive replays are deterministic: run twice, compare everything.
+  auto c = ReplayTrace(t, preempt);
+  ASSERT_TRUE(c.ok());
+  ExpectBitIdentical(*b, *c, "preemption determinism");
+}
+
+TEST(SlaTest, PreemptionBudgetIsBounded) {
+  trace::Trace t = HeadOfLineTrace();
+  ReplayOptions options = SmallCluster("fifo");
+  options.sla.preemption_budget = 3;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->sla.preempted_tasks, 3);
+  EXPECT_EQ(result->unfinished_jobs, 0u);
+}
+
+TEST(SlaTest, PreemptionComposesWithFailuresDeterministically) {
+  // The acceptance bar for the preemptive tier: with stragglers, task
+  // failures, and node losses all active, two runs are bit-identical.
+  trace::Trace t = Fb2010Style(300, 99);
+  ReplayOptions options;
+  options.cluster.nodes = 2;
+  options.scheduler = "srpt";
+  options.sla.preemption_budget = 500;
+  options.straggler_probability = 0.1;
+  options.speculative_execution = true;
+  options.failures.task_failure_probability = 0.05;
+  options.failures.node_loss_per_hour = 2.0;
+  auto a = ReplayTrace(t, options);
+  auto b = ReplayTrace(t, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->sla.preempted_tasks, 0);
+  ExpectBitIdentical(*a, *b, "preemption+failures determinism");
+}
+
+TEST(SlaTest, AdmissionSerializesTenantJobs) {
+  // Four 10s single-task jobs, one tenant, cap 1: without admission two
+  // run concurrently on the 2-slot cluster; with it they run strictly
+  // serially (latencies 10/20/30/40) and the wait is accounted.
+  trace::Trace t;
+  for (int i = 0; i < 4; ++i) {
+    t.AddJob(SimpleJob(i + 1, 0.0, 1, 10));
+  }
+  ReplayOptions options = SmallCluster("fifo");
+  options.sla.tenants = 1;
+  options.sla.tenant_max_running = 1;
+  auto result = ReplayTrace(t, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcomes.size(), 4u);
+  std::vector<double> latencies;
+  for (const auto& outcome : result->outcomes) {
+    latencies.push_back(outcome.latency);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(latencies[i], 10.0 * static_cast<double>(i + 1), 0.01);
+  }
+  EXPECT_EQ(result->sla.admission_parked_jobs, 3);
+  EXPECT_GT(result->sla.total_admission_delay, 0.0);
+  ASSERT_EQ(result->sla.tenants.size(), 1u);
+  EXPECT_EQ(result->sla.tenants[0].jobs, 4);
+  EXPECT_EQ(result->sla.tenants[0].parked_jobs, 3);
+  EXPECT_GT(result->sla.tenants[0].max_admission_delay, 0.0);
+  double outcome_delay = 0.0;
+  for (const auto& outcome : result->outcomes) {
+    outcome_delay += outcome.admission_delay;
+  }
+  EXPECT_DOUBLE_EQ(outcome_delay, result->sla.total_admission_delay);
+  // The oracle agrees token for token.
+  auto legacy = ReplayTraceLegacy(t, options);
+  ASSERT_TRUE(legacy.ok());
+  ExpectBitIdentical(*result, *legacy, "admission serialization");
+}
+
+TEST(SlaTest, AdmissionComposesWithDependenciesWithoutDeadlock) {
+  // Tokens only ever go to arrived, parent-free jobs, so a child behind a
+  // parked parent cannot wedge the tenant queue.
+  trace::Trace t;
+  for (int i = 0; i < 6; ++i) {
+    t.AddJob(SimpleJob(i + 1, 0.0, 1, 30));
+  }
+  ReplayOptions options = SmallCluster("fair");
+  options.sla.tenants = 2;
+  options.sla.tenant_max_running = 1;
+  options.dependencies[4] = {1};
+  options.dependencies[6] = {3};
+  auto current = ReplayTrace(t, options);
+  auto legacy = ReplayTraceLegacy(t, options);
+  ASSERT_TRUE(current.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(current->outcomes.size(), 6u);
+  EXPECT_EQ(current->unfinished_jobs, 0u);
+  // Tenant assignment is job_id % tenants.
+  for (const auto& outcome : current->outcomes) {
+    EXPECT_EQ(outcome.tenant, static_cast<int>(outcome.job_id % 2));
+  }
+  ExpectBitIdentical(*current, *legacy, "admission+deps");
+}
+
+TEST(SlaTest, PreemptionAndAdmissionComposeEndToEnd) {
+  // The full SLA tier at once on a saturated mix: deadline scheduling,
+  // elephant preemption, and per-tenant admission, twice, bit-identical.
+  trace::Trace t = Fb2010Style(250, 7);
+  ReplayOptions options;
+  options.cluster.nodes = 2;
+  options.scheduler = "deadline";
+  options.sla.preemption_budget = 300;
+  options.sla.tenants = 3;
+  options.sla.tenant_max_running = 4;
+  options.failures.task_failure_probability = 0.03;
+  auto a = ReplayTrace(t, options);
+  auto b = ReplayTrace(t, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sla.tenants.size(), 3u);
+  ExpectBitIdentical(*a, *b, "full SLA tier determinism");
 }
 
 // --- ReplayTemplate: the shared build phase behind sweeps ------------------

@@ -204,6 +204,60 @@ TEST(SweepTest, ProgressReportsEveryCellAndFinishesAtTotal) {
   EXPECT_TRUE(total_consistent.load());
 }
 
+TEST(SweepTest, SlaPoliciesBitIdenticalAcrossLaneCounts) {
+  // The preemptive tier's determinism pin: srpt and deadline cells with
+  // elephant preemption, admission control, and both failure modes active
+  // must replay bit-identically at 1 lane and 8 lanes.
+  trace::Trace t = MixedTrace(150);
+  ReplayOptions base;
+  base.cluster.nodes = 2;
+  base.straggler_probability = 0.1;
+  base.failures.task_failure_probability = 0.05;
+  base.failures.node_loss_per_hour = 0.5;
+  base.sla.preemption_budget = 100;
+  base.sla.tenants = 3;
+  base.sla.tenant_max_running = 2;
+  std::vector<SweepConfig> grid =
+      SweepGrid(t, base, {"srpt", "deadline"}, {2, 3}, {19, 47});
+  std::vector<StatusOr<ReplayResult>> lanes1 =
+      RunSweep(grid, /*max_parallelism=*/1);
+  std::vector<StatusOr<ReplayResult>> lanes8 =
+      RunSweep(grid, /*max_parallelism=*/8);
+  ASSERT_EQ(lanes1.size(), grid.size());
+  ASSERT_EQ(lanes8.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(lanes1[i].ok()) << grid[i].label;
+    ASSERT_TRUE(lanes8[i].ok()) << grid[i].label;
+    ExpectIdentical(*lanes1[i], *lanes8[i]);
+    // The SLA accounting agrees across lane counts too.
+    EXPECT_EQ(lanes1[i]->sla.preempted_tasks, lanes8[i]->sla.preempted_tasks);
+    EXPECT_EQ(lanes1[i]->sla.admission_parked_jobs,
+              lanes8[i]->sla.admission_parked_jobs);
+    EXPECT_EQ(lanes1[i]->sla.small_misses, lanes8[i]->sla.small_misses);
+  }
+}
+
+TEST(SweepTest, UnknownPolicyCellErrorsStayInTheirSlot) {
+  // A typo'd policy must fail its own cell with the factory's hard error,
+  // not silently replay as FIFO or poison its neighbors.
+  trace::Trace t = MixedTrace(20);
+  ReplayOptions good;
+  good.cluster.nodes = 2;
+  std::vector<SweepConfig> configs(3);
+  configs[0] = {"good", &t, good};
+  configs[1] = {"typo", &t, good};
+  configs[1].options.scheduler = "fare";
+  configs[2] = {"good2", &t, good};
+  std::vector<StatusOr<ReplayResult>> results = RunSweep(configs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].status().message().find("fifo, fair, two-tier"),
+            std::string::npos)
+      << results[1].status().message();
+  EXPECT_TRUE(results[2].ok());
+}
+
 TEST(SweepTest, IncompatibleCellsFallBackToPrivateBuilds) {
   // Cells whose template-relevant options disagree with the first cell
   // on the trace cannot share its template; they must still replay
@@ -217,11 +271,14 @@ TEST(SweepTest, IncompatibleCellsFallBackToPrivateBuilds) {
   rethresholded.small_job_bytes = 1.0;  // every job classified large
   ReplayOptions chained = plain;
   chained.dependencies[2] = {1};
+  ReplayOptions tight_sla = plain;
+  tight_sla.sla.small_multiplier = 1.0;  // different deadlines baked in
   std::vector<SweepConfig> configs;
   configs.push_back({"plain", &t, plain});
   configs.push_back({"capped", &t, capped});
   configs.push_back({"rethresholded", &t, rethresholded});
   configs.push_back({"chained", &t, chained});
+  configs.push_back({"tight-sla", &t, tight_sla});
   std::vector<StatusOr<ReplayResult>> results = RunSweep(configs, 2);
   ASSERT_EQ(results.size(), configs.size());
   for (size_t i = 0; i < configs.size(); ++i) {

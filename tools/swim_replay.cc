@@ -1,10 +1,12 @@
 // swim_replay: replay a trace on the simulated cluster.
 //
 //   swim_replay <trace.csv|trace.stf1> [--nodes N]
-//               [--scheduler fifo|fair|two-tier]
+//               [--scheduler fifo|fair|two-tier|srpt|deadline]
 //               [--stragglers P] [--on-error strict|skip|repair]
 //               [--task-failures P] [--node-loss R] [--max-attempts N]
 //               [--retry-backoff S] [--failure-point F] [--seed S]
+//               [--sla-multiplier S[,L]] [--preemption-budget N]
+//               [--tenants N] [--tenant-cap N]
 //               [--sweep fifo,fair,...] [--sweep-nodes N1,N2,...]
 //               [--sweep-seeds S1,S2,...] [--sweep-lanes N]
 //               [--sweep-progress]
@@ -13,6 +15,14 @@
 // what a scheduler experiment on a real cluster would report. With
 // failure injection enabled (--task-failures / --node-loss) an extra
 // accounting block reports retries and wasted slot-seconds.
+//
+// The SLA tier: every job carries a deadline of ideal latency x the
+// per-class multiplier (--sla-multiplier small[,large]); the report adds
+// per-class SLA-miss fractions. --scheduler srpt|deadline selects the
+// size-based and EDF policies; --preemption-budget enables elephant
+// preemption (calendar engine only); --tenants/--tenant-cap turn on
+// per-tenant admission control. Policy names are validated up front -
+// unknown names are a hard error listing the valid policies.
 //
 // --sweep runs the policy x node-count x seed grid concurrently across
 // the thread pool (sim/sweep.h) and prints one line per cell in grid
@@ -42,11 +52,13 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: swim_replay <trace.csv|trace.stf1> [--nodes N] "
-      "[--scheduler fifo|fair|two-tier] [--stragglers P]\n"
+      "[--scheduler fifo|fair|two-tier|srpt|deadline] [--stragglers P]\n"
       "                   [--on-error strict|skip|repair] "
       "[--task-failures P] [--node-loss R]\n"
       "                   [--max-attempts N] [--retry-backoff S] "
       "[--failure-point F] [--seed S]\n"
+      "                   [--sla-multiplier S[,L]] [--preemption-budget N] "
+      "[--tenants N] [--tenant-cap N]\n"
       "                   [--sweep fifo,fair,...] "
       "[--sweep-nodes N1,N2,...] [--sweep-seeds S1,S2,...]\n"
       "                   [--sweep-lanes N] [--sweep-progress]\n");
@@ -112,6 +124,24 @@ int main(int argc, char** argv) {
       options.failures.failure_point = std::atof(value.c_str());
     } else if (flag == "--seed") {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--sla-multiplier") {
+      // One value sets the small (interactive) multiplier; "S,L" sets
+      // both classes.
+      std::vector<std::string> parts = Split(value, ',');
+      if (parts.empty() || parts[0].empty()) {
+        std::fprintf(stderr, "--sla-multiplier needs S or S,L\n");
+        return 2;
+      }
+      options.sla.small_multiplier = std::atof(parts[0].c_str());
+      if (parts.size() > 1 && !parts[1].empty()) {
+        options.sla.large_multiplier = std::atof(parts[1].c_str());
+      }
+    } else if (flag == "--preemption-budget") {
+      options.sla.preemption_budget = std::atoll(value.c_str());
+    } else if (flag == "--tenants") {
+      options.sla.tenants = std::atoi(value.c_str());
+    } else if (flag == "--tenant-cap") {
+      options.sla.tenant_max_running = std::atoi(value.c_str());
     } else if (flag == "--sweep") {
       sweep = true;
       for (const std::string& policy : Split(value, ',')) {
@@ -139,6 +169,22 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
+    }
+  }
+
+  // Validate every policy name up front: a typo'd --sweep=fare must die
+  // here with the valid names, not after loading a month-long trace (and
+  // never, as before the MakeScheduler fix, by silently replaying the
+  // whole grid as FIFO).
+  {
+    std::vector<std::string> policies = sweep_policies;
+    policies.push_back(options.scheduler);
+    for (const std::string& policy : policies) {
+      auto scheduler = sim::MakeScheduler(policy);
+      if (!scheduler.ok()) {
+        std::fprintf(stderr, "%s\n", scheduler.status().ToString().c_str());
+        return 2;
+      }
     }
   }
 
@@ -189,12 +235,14 @@ int main(int argc, char** argv) {
       const sim::ReplayResult& r = *results[i];
       stats::SortedStats small_latencies = r.LatencyStats(true);
       std::printf(
-          "  %-24s makespan=%s util=%.0f%% small-p50=%s retries=%lld%s\n",
+          "  %-24s makespan=%s util=%.0f%% small-p50=%s sla-miss=%.1f%% "
+          "retries=%lld%s\n",
           configs[i].label.c_str(), FormatDuration(r.makespan).c_str(),
           100 * r.utilization,
           r.CountJobs(true) > 0
               ? FormatDuration(small_latencies.Quantile(0.5)).c_str()
               : "n/a",
+          100 * r.sla.MissFraction(true),
           static_cast<long long>(r.failures.retries),
           r.unfinished_jobs > 0 ? " (unfinished jobs)" : "");
     }
@@ -224,6 +272,34 @@ int main(int argc, char** argv) {
                 FormatDuration(latencies.Quantile(0.9)).c_str(),
                 FormatDuration(latencies.Quantile(0.99)).c_str(),
                 result->MeanSlowdown(small));
+  }
+  const sim::SlaStats& sla = result->sla;
+  for (bool small : {true, false}) {
+    const int64_t total = small ? sla.small_jobs_with_deadline
+                                : sla.large_jobs_with_deadline;
+    if (total == 0) continue;
+    std::printf("  %s-job SLA (%.0fx ideal): %lld/%lld missed (%.1f%%)\n",
+                small ? "small" : "large",
+                small ? options.sla.small_multiplier
+                      : options.sla.large_multiplier,
+                static_cast<long long>(small ? sla.small_misses
+                                             : sla.large_misses),
+                static_cast<long long>(total),
+                100 * sla.MissFraction(small));
+  }
+  if (options.sla.preemption_enabled()) {
+    std::printf("  preemption: %lld tasks revoked in %lld rounds "
+                "(budget %lld)\n",
+                static_cast<long long>(sla.preempted_tasks),
+                static_cast<long long>(sla.preemption_rounds),
+                static_cast<long long>(options.sla.preemption_budget));
+  }
+  if (options.sla.admission_enabled()) {
+    std::printf("  admission: %d tenants (cap %d), %lld jobs parked, "
+                "%s total queueing\n",
+                options.sla.tenants, options.sla.tenant_max_running,
+                static_cast<long long>(sla.admission_parked_jobs),
+                FormatDuration(sla.total_admission_delay).c_str());
   }
   double peak = 0;
   for (double o : result->hourly_occupancy) peak = std::max(peak, o);
