@@ -1,0 +1,160 @@
+#include "stats/sketch/gk_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swim::stats {
+
+GkQuantileSketch::GkQuantileSketch(double epsilon) {
+  if (!(epsilon > 0.0)) epsilon = 0.005;
+  epsilon_ = std::min(std::max(epsilon, 1e-5), 0.5);
+  internal_epsilon_ = epsilon_ / 2.0;
+  // Larger buffers amortize the fold better; 1/eps keeps the flush cost
+  // (O(tuples + buffer log buffer)) at ~tens of ops per value.
+  buffer_capacity_ = std::max<size_t>(
+      256, static_cast<size_t>(1.0 / internal_epsilon_));
+  buffer_.reserve(buffer_capacity_);
+}
+
+void GkQuantileSketch::Add(double value) {
+  buffer_.push_back(value);
+  if (buffer_.size() >= buffer_capacity_) FlushBuffer();
+}
+
+void GkQuantileSketch::FlushBuffer() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t ti = 0;
+  size_t bi = 0;
+  while (ti < tuples_.size() || bi < buffer_.size()) {
+    const bool take_tuple =
+        ti < tuples_.size() &&
+        (bi >= buffer_.size() || tuples_[ti].value <= buffer_[bi]);
+    if (take_tuple) {
+      merged.push_back(tuples_[ti++]);
+      continue;
+    }
+    const double value = buffer_[bi++];
+    ++count_;
+    Tuple t{value, 1, 0};
+    // A value inserted strictly inside the summary carries the standard
+    // GK uncertainty band floor(2*eps*n) - 1; a running min or max has an
+    // exactly known rank at insertion time (delta = 0).
+    const bool new_min = merged.empty();
+    const bool new_max = ti >= tuples_.size();
+    if (!new_min && !new_max) {
+      const auto band = static_cast<uint64_t>(
+          2.0 * internal_epsilon_ * static_cast<double>(count_));
+      t.delta = band > 0 ? band - 1 : 0;
+    }
+    merged.push_back(t);
+  }
+  tuples_ = std::move(merged);
+  buffer_.clear();
+  Compress();
+}
+
+uint64_t GkQuantileSketch::CompressThreshold() const {
+  return static_cast<uint64_t>(2.0 * internal_epsilon_ *
+                               static_cast<double>(count_));
+}
+
+void GkQuantileSketch::Compress() const {
+  if (tuples_.size() <= 2) return;
+  const uint64_t threshold = CompressThreshold();
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.back());
+  // Right-to-left greedy pass: absorb a tuple into its right neighbor
+  // whenever the combined uncertainty g_i + g_next + delta_next stays
+  // within the band. The first (minimum) tuple is always kept so p -> 0
+  // queries stay anchored at the true minimum.
+  for (size_t i = tuples_.size() - 1; i-- > 1;) {
+    Tuple& absorber = out.back();
+    const Tuple& t = tuples_[i];
+    if (t.g + absorber.g + absorber.delta <= threshold) {
+      absorber.g += t.g;
+    } else {
+      out.push_back(t);
+    }
+  }
+  out.push_back(tuples_.front());
+  std::reverse(out.begin(), out.end());
+  tuples_ = std::move(out);
+}
+
+void GkQuantileSketch::Merge(const GkQuantileSketch& other) {
+  if (&other == this) {
+    GkQuantileSketch copy(other);
+    Merge(copy);
+    return;
+  }
+  if (other.count() == 0) return;
+  other.FlushBuffer();
+  FlushBuffer();
+  // Standard mergeable-GK fold: interleave the two summaries by value;
+  // a tuple inherits extra uncertainty from the first not-yet-consumed
+  // tuple of the *other* summary (its g + delta - 1), which bounds how
+  // many unseen other-side values may precede it.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  size_t a = 0;
+  size_t b = 0;
+  auto next_uncertainty = [](const std::vector<Tuple>& list, size_t index) {
+    if (index >= list.size()) return static_cast<uint64_t>(0);
+    const uint64_t gd = list[index].g + list[index].delta;
+    return gd > 0 ? gd - 1 : 0;
+  };
+  while (a < tuples_.size() || b < other.tuples_.size()) {
+    const bool take_a =
+        a < tuples_.size() &&
+        (b >= other.tuples_.size() ||
+         tuples_[a].value <= other.tuples_[b].value);
+    Tuple t;
+    if (take_a) {
+      t = tuples_[a++];
+      t.delta += next_uncertainty(other.tuples_, b);
+    } else {
+      t = other.tuples_[b++];
+      t.delta += next_uncertainty(tuples_, a);
+    }
+    merged.push_back(t);
+  }
+  count_ += other.count_;
+  tuples_ = std::move(merged);
+  Compress();
+}
+
+double GkQuantileSketch::Quantile(double p) const {
+  FlushBuffer();
+  if (count_ == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  // Same rank convention as QuantileSorted: rank 1 + p * (n - 1), 1-based.
+  const double target = 1.0 + p * static_cast<double>(count_ - 1);
+  const double margin = epsilon_ * static_cast<double>(count_);
+  uint64_t cum = 0;  // rank_min of tuples_[i]
+  for (size_t i = 0; i + 1 < tuples_.size(); ++i) {
+    cum += tuples_[i].g;
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(cum + next.g + next.delta) > target + margin) {
+      return tuples_[i].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+size_t GkQuantileSketch::TupleCount() const {
+  FlushBuffer();
+  return tuples_.size();
+}
+
+double GkQuantileSketch::RankUncertaintyBound() const {
+  FlushBuffer();
+  uint64_t worst = 0;
+  for (const Tuple& t : tuples_) worst = std::max(worst, t.g + t.delta);
+  return static_cast<double>(worst) / 2.0;
+}
+
+}  // namespace swim::stats

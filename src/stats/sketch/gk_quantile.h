@@ -1,0 +1,95 @@
+#ifndef SWIM_STATS_SKETCH_GK_QUANTILE_H_
+#define SWIM_STATS_SKETCH_GK_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swim::stats {
+
+/// Greenwald-Khanna streaming quantile sketch (SIGMOD'01), buffered and
+/// mergeable. Holds O((1/eps) * log(eps * n)) tuples instead of the full
+/// value stream: any rank query is answered to within `epsilon * n` ranks
+/// of the exact answer over everything ever Add()ed or Merge()d in.
+///
+/// This is the streaming stand-in for SortedStats (the sort-once oracle the
+/// tests pin it against): same quantile surface, but O(sketch) memory and
+/// no full-column sort, so the analysis layer can fold production-rate job
+/// streams tick by tick.
+///
+/// Internals follow the batched-insert variant used by the major production
+/// implementations: Add() appends to a small buffer; a flush sorts the
+/// buffer once and folds it into the tuple summary in a single merge +
+/// compress pass (amortized O(log) per value rather than a vector insert
+/// per value). The summary is built with an internal epsilon of eps/2 so
+/// merge trees (per-chunk sketches folded in fixed order, follow-mode ticks
+/// folded forever) keep observed error inside the advertised bound; the
+/// sketch_test oracle suite pins this empirically across distributions and
+/// merge shapes.
+///
+/// Determinism: given the same sequence of Add/Merge calls, the tuple list,
+/// every Quantile() answer, and the serialized state are byte-identical —
+/// there is no randomization and no dependence on thread count (callers
+/// shard deterministically and merge in fixed order).
+///
+/// Not thread-safe; queries lazily flush the insert buffer.
+class GkQuantileSketch {
+ public:
+  /// `epsilon` is the advertised rank-error bound as a fraction of the
+  /// total count (default 0.5% — e.g. a p50 query over 1M values lands
+  /// within +/-5000 ranks of the true median).
+  explicit GkQuantileSketch(double epsilon = 0.005);
+
+  /// Adds one observation. Amortized cost: O(log buffer) for the sort
+  /// share + O(tuples / buffer) for the fold share.
+  void Add(double value);
+
+  /// Folds `other` into this sketch. Both sides keep their rank-error
+  /// guarantees relative to the combined count. Deterministic: value ties
+  /// take this sketch's tuples first.
+  void Merge(const GkQuantileSketch& other);
+
+  /// Value whose rank is within epsilon * count() of rank p * (count - 1)
+  /// (the same rank convention as QuantileSorted, minus its interpolation).
+  /// Returns 0.0 on an empty sketch.
+  double Quantile(double p) const;
+
+  /// Observations absorbed so far (buffered + summarized).
+  uint64_t count() const { return count_ + buffer_.size(); }
+  bool empty() const { return count() == 0; }
+  double epsilon() const { return epsilon_; }
+
+  /// Summary tuples currently held (flushes first) — the memory footprint
+  /// the O(sketch) claim is about; exposed so tests can pin sublinearity.
+  size_t TupleCount() const;
+
+  /// Upper bound on the rank uncertainty of any single query, in ranks:
+  /// max(g_i + delta_i) / 2 over the summary. Tests pin this against the
+  /// advertised epsilon * count().
+  double RankUncertaintyBound() const;
+
+ private:
+  struct Tuple {
+    double value = 0.0;
+    uint64_t g = 0;      // rank_min(this) - rank_min(previous)
+    uint64_t delta = 0;  // rank_max(this) - rank_min(this)
+  };
+
+  void FlushBuffer() const;
+  void Compress() const;
+  uint64_t CompressThreshold() const;
+
+  double epsilon_;           // advertised bound
+  double internal_epsilon_;  // construction bound (epsilon / 2)
+  size_t buffer_capacity_;
+
+  // Buffered inserts + summary are mutable so that const queries can flush
+  // lazily; the class is documented non-thread-safe.
+  mutable std::vector<double> buffer_;
+  mutable std::vector<Tuple> tuples_;  // ascending by value
+  mutable uint64_t count_ = 0;         // summarized observations
+};
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_SKETCH_GK_QUANTILE_H_

@@ -1,0 +1,90 @@
+#include "stats/sketch/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swim::stats {
+
+P2Quantile::P2Quantile(double p) {
+  p_ = std::min(std::max(p, 1e-6), 1.0 - 1e-6);
+  desired_increment_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+double P2Quantile::ParabolicAdjust(int i, double d) const {
+  // The paper's piecewise-parabolic (P^2) interpolation of marker i moved
+  // by d in {-1, +1}.
+  const double np = positions_[i - 1];
+  const double n = positions_[i];
+  const double nn = positions_[i + 1];
+  const double qp = heights_[i - 1];
+  const double q = heights_[i];
+  const double qn = heights_[i + 1];
+  return q + d / (nn - np) *
+                 ((n - np + d) * (qn - q) / (nn - n) +
+                  (nn - n - d) * (q - qp) / (n - np));
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+      desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing the new observation, extending the extreme
+  // markers when it falls outside them.
+  int cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
+  }
+  for (int i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_increment_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    const bool move_right = gap >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = gap <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!move_right && !move_left) continue;
+    const double d = move_right ? 1.0 : -1.0;
+    double candidate = ParabolicAdjust(i, d);
+    if (!(heights_[i - 1] < candidate && candidate < heights_[i + 1])) {
+      // Parabolic fit left the bracket; fall back to linear interpolation.
+      const int j = i + static_cast<int>(d);
+      candidate = heights_[i] + d * (heights_[j] - heights_[i]) /
+                                    (positions_[j] - positions_[i]);
+    }
+    heights_[i] = candidate;
+    positions_[i] += d;
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample answer: nearest-rank over the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto rank = static_cast<size_t>(
+        p_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, static_cast<size_t>(count_ - 1))];
+  }
+  return heights_[2];
+}
+
+}  // namespace swim::stats

@@ -1,0 +1,45 @@
+#ifndef SWIM_STATS_SKETCH_P2_QUANTILE_H_
+#define SWIM_STATS_SKETCH_P2_QUANTILE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace swim::stats {
+
+/// P-squared (Jain & Chlamtac, CACM'85) single-quantile estimator: tracks
+/// one target quantile with five markers and O(1) memory per observation —
+/// no buffer, no merge, no error bound. The cheap point estimator for
+/// fixed dashboards (a follow-mode p99 line) where GkQuantileSketch's
+/// guaranteed band or mergeability is not needed; sketch_test cross-checks
+/// its convergence against the SortedStats oracle on smooth distributions.
+///
+/// Deterministic: the estimate is a pure function of the observation
+/// sequence. Not mergeable (use GkQuantileSketch when shards must fold).
+class P2Quantile {
+ public:
+  /// `p` in (0, 1): the single quantile this instance tracks.
+  explicit P2Quantile(double p);
+
+  void Add(double value);
+
+  /// Current estimate of quantile p. Exact while count() < 5 (computed
+  /// from the first observations directly); 0.0 when empty.
+  double Estimate() const;
+
+  uint64_t count() const { return count_; }
+  double p() const { return p_; }
+
+ private:
+  double ParabolicAdjust(int i, double direction) const;
+
+  double p_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};           // marker heights q_i
+  std::array<double, 5> positions_{};         // actual marker positions n_i
+  std::array<double, 5> desired_{};           // desired positions n'_i
+  std::array<double, 5> desired_increment_{};  // dn'_i per observation
+};
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_SKETCH_P2_QUANTILE_H_

@@ -1,0 +1,55 @@
+#include "stats/sketch/sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swim::stats {
+
+SlidingWindowSeries::SlidingWindowSeries(double bucket_seconds,
+                                         size_t window_buckets)
+    : bucket_seconds_(bucket_seconds > 0.0 ? bucket_seconds : 3600.0),
+      capacity_(std::max<size_t>(window_buckets, 1)),
+      ring_(capacity_, 0.0) {}
+
+void SlidingWindowSeries::Observe(double time, double value) {
+  if (newest_bucket_ < 0) origin_ = time;
+  const auto bucket =
+      static_cast<int64_t>(std::floor((time - origin_) / bucket_seconds_));
+  const int64_t window_start =
+      newest_bucket_ - static_cast<int64_t>(capacity_) + 1;
+  if (newest_bucket_ >= 0 && bucket < window_start) {
+    ++dropped_stale_;
+    return;
+  }
+  if (bucket > newest_bucket_) {
+    // Zero every bucket the window slides past (bounded by one lap).
+    const int64_t advance = std::min(
+        bucket - newest_bucket_, static_cast<int64_t>(capacity_));
+    for (int64_t b = bucket - advance + 1; b <= bucket; ++b) {
+      ring_[static_cast<size_t>(((b % static_cast<int64_t>(capacity_)) +
+                                 static_cast<int64_t>(capacity_)) %
+                                static_cast<int64_t>(capacity_))] = 0.0;
+    }
+    newest_bucket_ = bucket;
+  }
+  ring_[static_cast<size_t>(((bucket % static_cast<int64_t>(capacity_)) +
+                             static_cast<int64_t>(capacity_)) %
+                            static_cast<int64_t>(capacity_))] += value;
+}
+
+std::vector<double> SlidingWindowSeries::Window() const {
+  std::vector<double> out;
+  if (newest_bucket_ < 0) return out;
+  const int64_t live =
+      std::min(newest_bucket_ + 1, static_cast<int64_t>(capacity_));
+  out.reserve(static_cast<size_t>(live));
+  for (int64_t b = newest_bucket_ - live + 1; b <= newest_bucket_; ++b) {
+    out.push_back(
+        ring_[static_cast<size_t>(((b % static_cast<int64_t>(capacity_)) +
+                                   static_cast<int64_t>(capacity_)) %
+                                  static_cast<int64_t>(capacity_))]);
+  }
+  return out;
+}
+
+}  // namespace swim::stats

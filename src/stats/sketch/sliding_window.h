@@ -1,0 +1,59 @@
+#ifndef SWIM_STATS_SKETCH_SLIDING_WINDOW_H_
+#define SWIM_STATS_SKETCH_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/burstiness.h"
+
+namespace swim::stats {
+
+/// Fixed-memory sliding-window rate series: a ring of `window_buckets`
+/// time buckets of `bucket_seconds` each, fed by (time, value) observations
+/// with nondecreasing time. Buckets older than the window fall off for
+/// free; the live window can be rendered as a series and profiled with the
+/// paper's burstiness metric (peak-to-median over the last week, say)
+/// without keeping the unbounded full-trace series around — the follow
+/// mode's "what does the last 168h look like" gauge.
+///
+/// Deterministic and O(window_buckets) memory. Not thread-safe.
+class SlidingWindowSeries {
+ public:
+  /// Default window: one week of hourly buckets (the paper's Figure 7/8
+  /// time unit).
+  explicit SlidingWindowSeries(double bucket_seconds = 3600.0,
+                               size_t window_buckets = 168);
+
+  /// Accumulates `value` into the bucket containing `time`. Time must be
+  /// nondecreasing up to one window of slack: observations older than the
+  /// current window are counted in dropped_stale() and ignored.
+  void Observe(double time, double value);
+
+  /// The live window, oldest bucket first (at most window_buckets entries;
+  /// empty before the first observation). Buckets with no observations
+  /// are zero.
+  std::vector<double> Window() const;
+
+  /// Burstiness profile over the live window.
+  BurstinessProfile Profile() const { return BurstinessProfile(Window()); }
+  double PeakToMedian() const { return Profile().PeakToMedian(); }
+
+  size_t window_buckets() const { return capacity_; }
+  double bucket_seconds() const { return bucket_seconds_; }
+  /// Observations rejected for falling before the live window.
+  uint64_t dropped_stale() const { return dropped_stale_; }
+  bool empty() const { return newest_bucket_ < 0; }
+
+ private:
+  double bucket_seconds_;
+  size_t capacity_;
+  std::vector<double> ring_;
+  double origin_ = 0.0;        // time of bucket 0 (first observation)
+  int64_t newest_bucket_ = -1;  // absolute bucket index, -1 before data
+  uint64_t dropped_stale_ = 0;
+};
+
+}  // namespace swim::stats
+
+#endif  // SWIM_STATS_SKETCH_SLIDING_WINDOW_H_

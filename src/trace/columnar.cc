@@ -778,6 +778,11 @@ StatusOr<TraceFormat> SniffTraceFormat(const std::string& path) {
   uint32_t magic = 0;
   const size_t got = std::fread(&magic, 1, sizeof(magic), in);
   std::fclose(in);
+  if (got == 0) {
+    // An empty file is neither format; classifying it as CSV would defer
+    // to the row parser's less specific "missing header" diagnostic.
+    return InvalidArgumentError("empty trace file: " + path);
+  }
   if (got == sizeof(magic) && magic == kStf1Magic) return TraceFormat::kStf1;
   return TraceFormat::kCsv;
 }

@@ -223,8 +223,9 @@ enum class TraceFormat { kCsv, kStf1 };
 const char* TraceFormatName(TraceFormat format);
 
 /// Reads the first bytes of `path`: STF1 magic selects kStf1, anything else
-/// (including an empty file) is presumed CSV and left to the CSV parser's
-/// diagnostics. IoError when the file cannot be opened.
+/// is presumed CSV and left to the CSV parser's diagnostics. A zero-length
+/// file is neither and yields InvalidArgumentError; IoError when the file
+/// cannot be opened.
 StatusOr<TraceFormat> SniffTraceFormat(const std::string& path);
 
 /// Loads a trace in whichever format `path` holds. CSV honors

@@ -240,8 +240,19 @@ TEST(ColumnarTest, SniffsFormatsAndDispatchesByExtension) {
   EXPECT_FALSE(SniffTraceFormat(TempPath("no_such_file.stf1")).ok());
   EXPECT_TRUE(HasColumnarExtension("x.stf"));
   EXPECT_TRUE(HasColumnarExtension("x.STF1"));
+  EXPECT_TRUE(HasColumnarExtension("x.Stf1"));
   EXPECT_FALSE(HasColumnarExtension("x.csv"));
   EXPECT_FALSE(HasColumnarExtension("stf1"));
+
+  // A zero-length file is neither format: sniffing reports a structured
+  // error instead of handing it to the CSV parser.
+  const std::string empty_path = TempPath("columnar_sniff_empty.stf1");
+  std::fclose(std::fopen(empty_path.c_str(), "wb"));
+  auto empty_format = SniffTraceFormat(empty_path);
+  ASSERT_FALSE(empty_format.ok());
+  EXPECT_NE(empty_format.status().ToString().find("empty trace file"),
+            std::string::npos);
+  std::remove(empty_path.c_str());
 
   auto from_csv = ReadTraceAuto(csv_path);
   auto from_stf1 = ReadTraceAuto(stf1_path);
